@@ -1,0 +1,86 @@
+// Command figures regenerates the evaluation of the paper — every panel
+// of figure 7 — as text tables: the analytic loss curves (equation 4.7
+// for the controlled protocol, the Beneš series for the FCFS baseline,
+// the busy-period transform for LCFS) together with corroborating
+// simulation points, exactly the content of the paper's six plots.
+//
+// Usage:
+//
+//	figures [-panel all|RHO,M] [-sim] [-baselines] [-messages N] [-seed S]
+//
+// Examples:
+//
+//	figures                        # all six panels, analytic only
+//	figures -sim                   # with controlled-protocol simulation
+//	figures -sim -baselines        # also simulate FCFS and LCFS
+//	figures -panel 0.75,25 -sim    # a single panel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"windowctl"
+)
+
+func main() {
+	panelFlag := flag.String("panel", "all", "panel selector: \"all\" or \"RHO,M\" (e.g. \"0.75,25\")")
+	simFlag := flag.Bool("sim", false, "corroborate the controlled curve by simulation")
+	baseFlag := flag.Bool("baselines", false, "also simulate the FCFS and LCFS baselines (implies -sim)")
+	chartFlag := flag.Bool("chart", false, "render each panel as an ASCII chart too")
+	messages := flag.Float64("messages", 1e5, "approximate offered messages per simulation run")
+	seed := flag.Uint64("seed", 1983, "simulation seed")
+	flag.Parse()
+
+	specs, err := selectPanels(*panelFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(2)
+	}
+	for _, spec := range specs {
+		opt := windowctl.Figure7Options{
+			Disable:   !*simFlag && !*baseFlag,
+			Baselines: *baseFlag,
+			Seed:      *seed,
+		}
+		if !opt.Disable {
+			lambda := spec.RhoPrime / spec.M
+			opt.EndTime = *messages / lambda
+			opt.Warmup = opt.EndTime / 20
+		}
+		panel, err := windowctl.Figure7Panel(spec, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Println(panel.Format())
+		if *chartFlag {
+			fmt.Println(panel.Chart(64, 18))
+		}
+	}
+}
+
+func selectPanels(sel string) ([]windowctl.PanelSpec, error) {
+	if sel == "all" {
+		return windowctl.AllFigure7Panels(), nil
+	}
+	parts := strings.Split(sel, ",")
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("bad -panel %q (want \"all\" or \"RHO,M\")", sel)
+	}
+	rho, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad rho in -panel: %v", err)
+	}
+	m, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad M in -panel: %v", err)
+	}
+	if rho <= 0 || m <= 0 {
+		return nil, fmt.Errorf("-panel values must be positive")
+	}
+	return []windowctl.PanelSpec{{RhoPrime: rho, M: m}}, nil
+}

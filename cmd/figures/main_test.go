@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestSelectPanels(t *testing.T) {
+	all, err := selectPanels("all")
+	if err != nil || len(all) != 6 {
+		t.Fatalf("all: %v, %d panels", err, len(all))
+	}
+	one, err := selectPanels("0.75,25")
+	if err != nil || len(one) != 1 {
+		t.Fatalf("single: %v", err)
+	}
+	if one[0].RhoPrime != 0.75 || one[0].M != 25 {
+		t.Fatalf("parsed %+v", one[0])
+	}
+	// Whitespace tolerated.
+	if _, err := selectPanels(" 0.5 , 100 "); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "0.75", "a,b", "0.75,x", "-1,25", "0.5,0"} {
+		if _, err := selectPanels(bad); err == nil {
+			t.Errorf("selector %q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Command sweep evaluates the protocol across a parameter grid and emits
+// CSV for plotting: one row per (load, K) point with the analytic and
+// simulated loss of the selected disciplines.
+//
+// Usage:
+//
+//	sweep [-m 25] [-loads 0.25,0.5,0.75] [-km 0.5,1,2,4] [-sim] [-messages 50000] > out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"windowctl"
+)
+
+func main() {
+	m := flag.Float64("m", 25, "message length in slots")
+	loads := flag.String("loads", "0.25,0.5,0.75", "comma-separated offered loads ρ'")
+	kms := flag.String("km", "0.5,1,1.5,2,3,4,6,8", "comma-separated constraints in message times")
+	sim := flag.Bool("sim", false, "add simulated loss columns")
+	messages := flag.Float64("messages", 5e4, "offered messages per simulation point")
+	seed := flag.Uint64("seed", 1983, "simulation seed")
+	flag.Parse()
+
+	loadVals, err := parseFloats(*loads)
+	if err != nil {
+		fail(err)
+	}
+	kmVals, err := parseFloats(*kms)
+	if err != nil {
+		fail(err)
+	}
+
+	header := "rho,m,k_over_m,k,controlled,fcfs,lcfs"
+	if *sim {
+		header += ",sim_controlled,sim_fcfs,sim_lcfs"
+	}
+	fmt.Println(header)
+	for _, rho := range loadVals {
+		for _, km := range kmVals {
+			k := km * *m
+			row := []string{
+				format(rho), format(*m), format(km), format(k),
+			}
+			for _, d := range []windowctl.Discipline{windowctl.Controlled, windowctl.FCFS, windowctl.LCFS} {
+				sys := windowctl.System{M: *m, RhoPrime: rho, K: k, Discipline: d}
+				res, err := sys.AnalyticLoss()
+				if err != nil {
+					row = append(row, "")
+					continue
+				}
+				row = append(row, fmt.Sprintf("%.6f", res.Loss))
+			}
+			if *sim {
+				for _, d := range []windowctl.Discipline{windowctl.Controlled, windowctl.FCFS, windowctl.LCFS} {
+					sys := windowctl.System{M: *m, RhoPrime: rho, K: k, Discipline: d, Seed: *seed}
+					rep, err := sys.Simulate(windowctl.SimOptions{EndTime: *messages / sys.Lambda()})
+					if err != nil {
+						row = append(row, "")
+						continue
+					}
+					row = append(row, fmt.Sprintf("%.6f", rep.Loss()))
+				}
+			}
+			fmt.Println(strings.Join(row, ","))
+		}
+	}
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %v", part, err)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("values must be positive, got %v", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func format(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestParseFloats(t *testing.T) {
+	vals, err := parseFloats("0.25, 0.5,0.75")
+	if err != nil || len(vals) != 3 || vals[1] != 0.5 {
+		t.Fatalf("parse: %v %v", vals, err)
+	}
+	for _, bad := range []string{"", "a", "1,-2", "1,,2", "0"} {
+		if _, err := parseFloats(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	if format(0.25) != "0.25" || format(25) != "25" {
+		t.Fatal("format")
+	}
+}

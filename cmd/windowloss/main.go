@@ -1,0 +1,66 @@
+// Command windowloss evaluates the analytic loss models at one operating
+// point: equation 4.7 for the controlled protocol, or the uncontrolled
+// FCFS/LCFS baselines of [Kurose 83].
+//
+// Usage:
+//
+//	windowloss -rho 0.75 -m 25 -k 50 [-discipline controlled|fcfs|lcfs] [-tau 1]
+//
+// K is given in absolute time (units of τ); use -km to give it in message
+// times instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"windowctl"
+)
+
+func main() {
+	rho := flag.Float64("rho", 0.5, "normalized offered load ρ' = λ'·M·τ")
+	m := flag.Float64("m", 25, "message length M in slots")
+	tau := flag.Float64("tau", 1, "slot time τ (propagation delay)")
+	k := flag.Float64("k", 0, "time constraint K (absolute time)")
+	km := flag.Float64("km", 0, "time constraint in message times (overrides -k)")
+	disc := flag.String("discipline", "controlled", "controlled | fcfs | lcfs")
+	flag.Parse()
+
+	constraint := *k
+	if *km > 0 {
+		constraint = *km * *m * *tau
+	}
+	if constraint <= 0 {
+		fmt.Fprintln(os.Stderr, "windowloss: provide a positive -k or -km")
+		os.Exit(2)
+	}
+	var d windowctl.Discipline
+	switch *disc {
+	case "controlled":
+		d = windowctl.Controlled
+	case "fcfs":
+		d = windowctl.FCFS
+	case "lcfs":
+		d = windowctl.LCFS
+	default:
+		fmt.Fprintf(os.Stderr, "windowloss: unknown discipline %q\n", *disc)
+		os.Exit(2)
+	}
+	sys := windowctl.System{Tau: *tau, M: *m, RhoPrime: *rho, K: constraint, Discipline: d}
+	res, err := sys.AnalyticLoss()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "windowloss:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("discipline        %s\n", d)
+	fmt.Printf("lambda'           %.6g msgs/time\n", sys.Lambda())
+	fmt.Printf("window content G  %.4f msgs\n", res.WindowContent)
+	fmt.Printf("rho (w/overhead)  %.4f\n", res.Rho)
+	if !math.IsNaN(res.ServerIdle) {
+		fmt.Printf("P(server idle)    %.4f\n", res.ServerIdle)
+	}
+	fmt.Printf("K                 %.4g (= %.3g message times)\n", constraint, constraint/(*m**tau))
+	fmt.Printf("p(loss)           %.6f\n", res.Loss)
+}

@@ -1,0 +1,73 @@
+// Command wintrace replays the window protocol over a scripted set of
+// arrival times and prints every probe — the textual counterpart of the
+// paper's figures 1 and 4 (window splitting and the maintenance of
+// t_past), plus the figure-2 view of the cleared time axis.
+//
+// Usage:
+//
+//	wintrace [-discipline controlled|fcfs|lcfs] [-k 20] [-m 4] [-len 8] arrival...
+//
+// With no arrivals given, the figure-4 style default scenario is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"windowctl/internal/trace"
+	"windowctl/internal/window"
+)
+
+func main() {
+	disc := flag.String("discipline", "controlled", "controlled | fcfs | lcfs")
+	k := flag.Float64("k", 20, "time constraint K (0 = none)")
+	m := flag.Float64("m", 4, "message length in slots")
+	winLen := flag.Float64("len", 8, "initial window length")
+	flag.Parse()
+
+	arrivals := []float64{1.0, 2.2, 3.7, 6.5}
+	if flag.NArg() > 0 {
+		arrivals = nil
+		for _, a := range flag.Args() {
+			v, err := strconv.ParseFloat(a, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wintrace: bad arrival %q: %v\n", a, err)
+				os.Exit(2)
+			}
+			arrivals = append(arrivals, v)
+		}
+	}
+
+	length := window.FixedLength(*winLen)
+	var pol window.Policy
+	switch *disc {
+	case "controlled":
+		pol = window.Controlled{Length: length}
+	case "fcfs":
+		pol = window.FCFS{Length: length}
+	case "lcfs":
+		pol = window.LCFS{Length: length}
+	default:
+		fmt.Fprintf(os.Stderr, "wintrace: unknown discipline %q\n", *disc)
+		os.Exit(2)
+	}
+
+	tr, err := trace.Run(trace.Config{
+		Policy:   pol,
+		Arrivals: arrivals,
+		M:        *m,
+		K:        *k,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wintrace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("discipline %s, %d scripted arrival(s), K=%g, M=%g\n\n", *disc, len(arrivals), *k, *m)
+	fmt.Print(tr.Render())
+	fmt.Printf("\ntime axis [0, %.2f) — '#' = known clear (figure 2 view):\n%s\n",
+		tr.End, tr.RenderAxis(0, tr.End, 72))
+	fmt.Printf("\npseudo-time compression (figure 3 view):\n%s\n",
+		tr.RenderPseudoTime(0, tr.End, 72))
+}

@@ -1,0 +1,63 @@
+package windowctl_test
+
+import (
+	"fmt"
+
+	"windowctl"
+)
+
+// The basic flow: describe an operating point, get the analytic loss of
+// equation 4.7 and corroborate it by simulation.
+func Example() {
+	sys := windowctl.System{
+		M:        25,  // message length in slots
+		RhoPrime: 0.5, // offered channel load λ'·M·τ
+		K:        50,  // deadline: two message times
+		Seed:     1,
+	}
+	analytic, err := sys.AnalyticLoss()
+	if err != nil {
+		panic(err)
+	}
+	report, err := sys.Simulate(windowctl.SimOptions{EndTime: 2e5})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("analytic %.3f, simulated %.3f\n", analytic.Loss, report.Loss())
+	// Output: analytic 0.033, simulated 0.037
+}
+
+// Comparing disciplines at the same operating point: the controlled
+// protocol dominates the uncontrolled baselines.
+func Example_disciplines() {
+	for _, d := range []windowctl.Discipline{windowctl.Controlled, windowctl.FCFS, windowctl.LCFS} {
+		sys := windowctl.System{M: 25, RhoPrime: 0.75, K: 50, Discipline: d}
+		res, err := sys.AnalyticLoss()
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-10s %.3f\n", d, res.Loss)
+	}
+	// Output:
+	// controlled 0.101
+	// fcfs       0.338
+	// lcfs       0.163
+}
+
+// Regenerating one panel of the paper's figure 7 (analytic curves only;
+// pass a non-disabled Figure7Options to add simulation points).
+func Example_figure7() {
+	panel, err := windowctl.Figure7Panel(
+		windowctl.PanelSpec{RhoPrime: 0.25, M: 25, KOverM: []float64{1, 2}},
+		windowctl.Figure7Options{Disable: true},
+	)
+	if err != nil {
+		panic(err)
+	}
+	for _, pt := range panel.Points {
+		fmt.Printf("K/M=%.0f: controlled %.4f, fcfs %.4f\n", pt.KOverM, pt.Controlled, pt.FCFS)
+	}
+	// Output:
+	// K/M=1: controlled 0.0304, fcfs 0.0494
+	// K/M=2: controlled 0.0037, fcfs 0.0058
+}

@@ -1,0 +1,120 @@
+// Packetized voice over a shared bus — the motivating application of the
+// paper's introduction.  A voice packet is useful only if delivered
+// within a fixed playout deadline, and a small loss fraction is
+// acceptable; this example sizes a 1983-style broadcast network: how many
+// speakers can share the channel before loss exceeds the budget?
+//
+// Speakers are on/off (talkspurt) sources; their superposition across
+// many stations is well approximated by the Poisson traffic the analysis
+// assumes.  The example searches for the largest speaker population whose
+// analytic loss (eq. 4.7) stays within budget, then corroborates the
+// operating point by simulation.
+//
+//	go run ./examples/packetvoice
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"windowctl"
+)
+
+func main() {
+	// Physical parameters of a km-scale 10 Mb/s bus (classic Ethernet
+	// numbers, contemporary with the paper).
+	const (
+		tau        = 10e-6  // propagation delay: 10 µs end to end
+		bitsPerPkt = 2000.0 // 250-byte voice packet
+		rate       = 10e6   // 10 Mb/s
+		deadline   = 0.050  // 50 ms playout deadline
+		lossBudget = 0.01   // 1% packets may be late
+
+		// Speech model: 64 kb/s PCM during talkspurts, so 32 pkt/s while
+		// talking; talkspurts average 1 s, silences 1.35 s.
+		pktRateOn  = 32.0
+		meanOn     = 1.0
+		meanOff    = 1.35
+		activity   = meanOn / (meanOn + meanOff)
+		pktPerSpkr = pktRateOn * activity // long-run packets/s per speaker
+	)
+	txTime := bitsPerPkt / rate // 200 µs per packet
+	mSlots := txTime / tau      // M = 20 slots
+	kOverTau := deadline / tau  // deadline in slots
+
+	fmt.Printf("bus: tau=%.0fµs, packet=%.0fµs (M=%.0f slots), deadline=%.0fms (K=%.0f slots)\n",
+		tau*1e6, txTime*1e6, mSlots, deadline*1e3, kOverTau)
+	fmt.Printf("speaker: %.1f pkt/s average (%.0f pkt/s during talkspurts, %.0f%% activity)\n\n",
+		pktPerSpkr, pktRateOn, activity*100)
+
+	system := func(speakers int) windowctl.System {
+		lambda := float64(speakers) * pktPerSpkr // packets per second
+		return windowctl.System{
+			Tau:      tau,
+			M:        mSlots,
+			RhoPrime: lambda * mSlots * tau, // λ'·M·τ
+			K:        deadline,
+			Seed:     42,
+		}
+	}
+
+	// Find the largest speaker count within the loss budget.
+	best := 0
+	fmt.Printf("%10s %10s %12s\n", "speakers", "load", "loss (eq4.7)")
+	for n := 50; ; n += 50 {
+		sys := system(n)
+		res, err := sys.AnalyticLoss()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10d %10.3f %12.5f\n", n, sys.RhoPrime, res.Loss)
+		if res.Loss > lossBudget {
+			break
+		}
+		best = n
+	}
+	if best == 0 {
+		log.Fatal("no feasible speaker population")
+	}
+
+	// Refine within the last bracket.
+	for n := best + 10; ; n += 10 {
+		res, err := system(n).AnalyticLoss()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Loss > lossBudget {
+			break
+		}
+		best = n
+	}
+
+	fmt.Printf("\nanalytic capacity: %d speakers (offered load %.3f) within the %.0f%% budget\n",
+		best, system(best).RhoPrime, lossBudget*100)
+
+	// The analytic model sits at the knee of the loss curve there, where
+	// its approximations are most optimistic (service-time correlations
+	// are ignored, §4.1) — so validate by simulation and back off until
+	// the *measured* loss fits the budget.
+	fmt.Println("validating by simulation:")
+	for {
+		sys := system(best)
+		rep, err := sys.Simulate(windowctl.SimOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lo, hi := rep.LossCI(0.95)
+		fmt.Printf("  %4d speakers: measured loss %.5f (95%% CI [%.5f, %.5f]), utilization %.3f\n",
+			best, rep.Loss(), lo, hi, rep.Utilization)
+		if hi <= lossBudget {
+			fmt.Printf("\nvalidated capacity: %d speakers; packet wait mean %.2f ms, p95 %.2f ms, p99 %.2f ms (deadline %.0f ms)\n",
+				best, rep.TrueWait.Mean()*1e3,
+				rep.WaitQuantile(0.95)*1e3, rep.WaitQuantile(0.99)*1e3, deadline*1e3)
+			return
+		}
+		best -= 20
+		if best <= 0 {
+			log.Fatal("no feasible speaker population under simulation")
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Distributed sensor network — the paper's second motivating application
+// ([DSN 82]): geographically spread sensors share one broadcast channel;
+// a detection report is useless once stale, so the network must maximize
+// the fraction of reports delivered within the staleness bound.
+//
+// The example runs the full *multi-station* simulator (every sensor runs
+// its own copy of the protocol state machine, kept consistent only by
+// common channel feedback) and compares the controlled protocol against
+// the uncontrolled FCFS and LCFS disciplines at the same load.
+//
+//	go run ./examples/sensornet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"windowctl"
+)
+
+func main() {
+	const (
+		sensors  = 24
+		m        = 50.0 // report length in slots
+		rhoPrime = 0.6  // offered channel load
+		kOverM   = 1.5  // staleness bound: 1.5 report times
+	)
+	fmt.Printf("sensor fleet: %d stations, load %.2f, report %g slots, staleness bound %.1f report times\n\n",
+		sensors, rhoPrime, m, kOverM)
+
+	fmt.Printf("%-12s %10s %10s %12s %12s\n", "discipline", "loss", "sender", "late/stranded", "utilization")
+	for _, d := range []windowctl.Discipline{windowctl.Controlled, windowctl.FCFS, windowctl.LCFS} {
+		sys := windowctl.System{
+			M: m, RhoPrime: rhoPrime, K: kOverM * m,
+			Discipline: d, Seed: 7,
+		}
+		rep, err := sys.SimulateDistributed(sensors, windowctl.SimOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %10.4f %10d %12d %12.3f\n",
+			d, rep.Loss(), rep.LostSender, rep.LostLate+rep.LostPending, rep.Utilization)
+	}
+
+	fmt.Println("\nEvery run verified that all 24 stations stayed in lockstep on every slot.")
+	fmt.Println("Note how the controlled protocol converts receiver-side (late) losses into")
+	fmt.Println("cheaper sender-side discards: the channel only carries reports that will")
+	fmt.Println("still be fresh on arrival (policy element 4).")
+}

@@ -1,0 +1,3 @@
+module windowctl
+
+go 1.22

@@ -1,0 +1,95 @@
+// Package channel models the slotted broadcast multiple-access channel the
+// window protocol runs over: a single shared medium with end-to-end
+// propagation delay τ, ternary per-slot feedback (idle / success /
+// collision) observable by every station within τ, and fixed-length
+// message transmissions of M·τ.
+//
+// The model captures exactly the physical-layer behaviour the paper's
+// analysis depends on: a probe slot costs τ whatever its outcome — that is
+// how long every station needs to classify the slot — and a successful
+// probe carries a complete message, occupying the channel for the message
+// transmission time.  Collisions are detected and aborted within the probe
+// slot (CSMA/CD-style), so a collision costs τ, not a full message time.
+package channel
+
+import (
+	"fmt"
+
+	"windowctl/internal/window"
+)
+
+// Channel is a slotted broadcast channel.  It is driven slot by slot: the
+// caller reports how many stations chose to transmit, and the channel
+// returns the common feedback plus the slot's duration, while keeping
+// utilization accounts.
+type Channel struct {
+	tau    float64
+	txTime float64
+	stats  Stats
+}
+
+// Stats aggregates channel activity.
+type Stats struct {
+	// IdleSlots, CollisionSlots and SuccessSlots count slot outcomes.
+	IdleSlots, CollisionSlots, SuccessSlots int64
+	// BusyTime is the time spent carrying successful transmissions.
+	BusyTime float64
+	// WastedTime is the time consumed by idle and collision slots.
+	WastedTime float64
+}
+
+// TotalTime is the channel time accounted for so far.
+func (s Stats) TotalTime() float64 { return s.BusyTime + s.WastedTime }
+
+// Utilization is the fraction of channel time carrying successful
+// transmissions — the classic efficiency measure.
+func (s Stats) Utilization() float64 {
+	t := s.TotalTime()
+	if t == 0 {
+		return 0
+	}
+	return s.BusyTime / t
+}
+
+// New creates a channel with propagation delay tau and message
+// transmission time txTime (= M·τ for the paper's fixed-length messages).
+// It panics unless 0 < tau and tau <= txTime.
+func New(tau, txTime float64) *Channel {
+	if tau <= 0 || txTime < tau {
+		panic(fmt.Sprintf("channel: invalid timing (tau=%v, txTime=%v)", tau, txTime))
+	}
+	return &Channel{tau: tau, txTime: txTime}
+}
+
+// Tau returns the propagation delay (slot time).
+func (c *Channel) Tau() float64 { return c.tau }
+
+// TxTime returns the message transmission time.
+func (c *Channel) TxTime() float64 { return c.txTime }
+
+// ResolveSlot consumes one protocol slot with the given number of
+// transmitting stations and returns the feedback every station observes
+// and the duration the slot occupied the channel: τ for idle or collision
+// slots, the full transmission time for a success.  It panics on a
+// negative transmitter count.
+func (c *Channel) ResolveSlot(transmitters int) (window.Feedback, float64) {
+	switch {
+	case transmitters < 0:
+		panic(fmt.Sprintf("channel: %d transmitters", transmitters))
+	case transmitters == 0:
+		c.stats.IdleSlots++
+		c.stats.WastedTime += c.tau
+		return window.Idle, c.tau
+	case transmitters == 1:
+		c.stats.SuccessSlots++
+		c.stats.BusyTime += c.txTime
+		return window.Success, c.txTime
+	default:
+		c.stats.CollisionSlots++
+		c.stats.WastedTime += c.tau
+		return window.Collision, c.tau
+	}
+}
+
+// Stats returns a copy of the accumulated accounts.
+func (c *Channel) Stats() Stats { return c.stats }

@@ -1,0 +1,73 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"windowctl/internal/window"
+)
+
+func TestResolveSlotOutcomes(t *testing.T) {
+	c := New(1, 25)
+	fb, d := c.ResolveSlot(0)
+	if fb != window.Idle || d != 1 {
+		t.Fatalf("idle slot: %v %v", fb, d)
+	}
+	fb, d = c.ResolveSlot(1)
+	if fb != window.Success || d != 25 {
+		t.Fatalf("success slot: %v %v", fb, d)
+	}
+	fb, d = c.ResolveSlot(7)
+	if fb != window.Collision || d != 1 {
+		t.Fatalf("collision slot: %v %v", fb, d)
+	}
+	st := c.Stats()
+	if st.IdleSlots != 1 || st.SuccessSlots != 1 || st.CollisionSlots != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.BusyTime != 25 || st.WastedTime != 2 {
+		t.Fatalf("times %+v", st)
+	}
+	if math.Abs(st.Utilization()-25.0/27) > 1e-12 {
+		t.Fatalf("utilization %v", st.Utilization())
+	}
+	if math.Abs(st.TotalTime()-27) > 1e-12 {
+		t.Fatalf("total time %v", st.TotalTime())
+	}
+}
+
+func TestEmptyStats(t *testing.T) {
+	c := New(0.5, 0.5)
+	if c.Stats().Utilization() != 0 {
+		t.Fatal("fresh channel utilization")
+	}
+	if c.Tau() != 0.5 || c.TxTime() != 0.5 {
+		t.Fatal("accessors")
+	}
+}
+
+func TestInvalidConstruction(t *testing.T) {
+	for i, fn := range []func(){
+		func() { New(0, 1) },
+		func() { New(-1, 1) },
+		func() { New(2, 1) }, // txTime < tau
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNegativeTransmittersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative transmitter count accepted")
+		}
+	}()
+	New(1, 10).ResolveSlot(-1)
+}

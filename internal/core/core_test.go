@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func baseSystem() System {
+	return System{M: 25, RhoPrime: 0.5, K: 50, Seed: 3}
+}
+
+func TestDefaultsAndLambda(t *testing.T) {
+	s := baseSystem()
+	if math.Abs(s.Lambda()-0.02) > 1e-12 {
+		t.Fatalf("lambda %v", s.Lambda())
+	}
+	norm, err := s.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Tau != 1 || norm.WindowG <= 0 {
+		t.Fatalf("defaults not applied: %+v", norm)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []System{
+		{M: 0, RhoPrime: 0.5, K: 50},
+		{M: 25, RhoPrime: 0, K: 50},
+		{M: 25, RhoPrime: 0.5, K: 0},
+		{M: 25, RhoPrime: 0.5, K: 50, WindowG: -1},
+		{M: 25, RhoPrime: 0.5, K: 50, SplitFraction: 1.5},
+		{M: 25, RhoPrime: 0.5, K: 50, SplitFraction: 0.3, Discipline: FCFS},
+	}
+	for i, s := range bad {
+		if _, err := s.AnalyticLoss(); err == nil {
+			t.Errorf("case %d: invalid system accepted", i)
+		}
+	}
+}
+
+func TestPolicyPerDiscipline(t *testing.T) {
+	for _, d := range []Discipline{Controlled, FCFS, LCFS, Random} {
+		s := baseSystem()
+		s.Discipline = d
+		p, err := s.Policy()
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if p.Name() != d.String() {
+			t.Fatalf("policy %q for discipline %v", p.Name(), d)
+		}
+		if (d == Controlled) != p.Discards() {
+			t.Fatalf("%v: discard flag %v", d, p.Discards())
+		}
+	}
+	s := baseSystem()
+	s.Discipline = Discipline(42)
+	if _, err := s.Policy(); err == nil {
+		t.Fatal("unknown discipline accepted")
+	}
+	if s.Discipline.String() == "" {
+		t.Fatal("unknown discipline has no name")
+	}
+}
+
+func TestAnalyticLossAcrossDisciplines(t *testing.T) {
+	ctrl := baseSystem()
+	rc, err := ctrl.AnalyticLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := baseSystem()
+	f.Discipline = FCFS
+	rf, err := f.AnalyticLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := baseSystem()
+	l.Discipline = LCFS
+	rl, err := l.AnalyticLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rc.Loss <= rf.Loss && rc.Loss <= rl.Loss) {
+		t.Fatalf("controlled %v should dominate fcfs %v and lcfs %v", rc.Loss, rf.Loss, rl.Loss)
+	}
+	if rc.ServerIdle <= 0 || rc.ServerIdle >= 1 {
+		t.Fatalf("controlled idle %v", rc.ServerIdle)
+	}
+	if !math.IsNaN(rf.ServerIdle) {
+		t.Fatal("baseline idle should be NaN")
+	}
+	r := baseSystem()
+	r.Discipline = Random
+	if _, err := r.AnalyticLoss(); err == nil {
+		t.Fatal("random discipline has no analytic model")
+	}
+}
+
+func TestSimulateAgreesWithAnalytic(t *testing.T) {
+	s := baseSystem()
+	s.K = 25
+	an, err := s.AnalyticLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Simulate(SimOptions{EndTime: 8e5, Warmup: 5e4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Loss()-an.Loss) > 0.35*an.Loss+0.015 {
+		t.Fatalf("sim %v vs analytic %v", rep.Loss(), an.Loss)
+	}
+}
+
+func TestSimulateDistributed(t *testing.T) {
+	s := baseSystem()
+	rep, err := s.SimulateDistributed(8, SimOptions{EndTime: 1e5, Warmup: 1e4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Transmissions == 0 {
+		t.Fatal("nothing transmitted")
+	}
+}
+
+func TestDecisionModel(t *testing.T) {
+	s := baseSystem()
+	mod, err := s.DecisionModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.K != 50 || mod.M != 25 {
+		t.Fatalf("model shape K=%d M=%d", mod.K, mod.M)
+	}
+	wantP := -math.Expm1(-0.02)
+	if math.Abs(mod.P-wantP) > 1e-12 {
+		t.Fatalf("occupancy %v, want %v", mod.P, wantP)
+	}
+	f := baseSystem()
+	f.Discipline = FCFS
+	if _, err := f.DecisionModel(); err == nil {
+		t.Fatal("decision model for baseline accepted")
+	}
+	tiny := baseSystem()
+	tiny.K = 0.2
+	if _, err := tiny.DecisionModel(); err == nil {
+		t.Fatal("sub-slot K accepted")
+	}
+}
+
+func TestTraceFacade(t *testing.T) {
+	s := baseSystem()
+	s.K = 200 // loose enough that all three scripted messages fit
+	tr, err := s.Trace([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Sent) != 3 {
+		t.Fatalf("sent %v", tr.Sent)
+	}
+}
+
+func TestSplitFractionVariant(t *testing.T) {
+	s := baseSystem()
+	s.SplitFraction = 0.3
+	rep, err := s.Simulate(SimOptions{EndTime: 1e5, Warmup: 1e4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Transmissions == 0 {
+		t.Fatal("fractional split transmitted nothing")
+	}
+}

@@ -1,0 +1,185 @@
+// Package des is a deterministic discrete-event simulation kernel.
+//
+// It drives the full multi-station protocol simulator: stations schedule
+// arrival events, the channel schedules slot-boundary and end-of-
+// transmission events, and the kernel dispatches them in global time order.
+// Determinism matters — two events at the same instant are dispatched in
+// (priority, insertion-order) sequence, so a simulation run is a pure
+// function of its seed.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback.
+type Event struct {
+	// Time is the simulation time at which the event fires.
+	Time float64
+	// Priority breaks ties at equal times: lower fires first.  Use it to
+	// order, e.g., "channel slot boundary" before "station reaction".
+	Priority int
+	// Fn is the callback; it runs with the clock set to Time.
+	Fn func()
+
+	seq      uint64 // insertion order, final tie-break
+	index    int    // heap index, -1 when not queued
+	canceled bool
+}
+
+// Canceled reports whether the event was canceled before firing.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority < h[j].Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the clock and the pending-event set.
+type Simulator struct {
+	now        float64
+	events     eventHeap
+	seq        uint64
+	dispatched uint64
+	running    bool
+}
+
+// New returns an empty simulator with the clock at zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Dispatched returns the number of events executed so far.
+func (s *Simulator) Dispatched() uint64 { return s.dispatched }
+
+// Pending returns the number of queued (non-canceled) events.
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, e := range s.events {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule queues fn to run at the absolute time t with the given
+// priority.  Scheduling in the past panics — it always indicates a model
+// bug.  The returned Event may be passed to Cancel.
+func (s *Simulator) Schedule(t float64, priority int, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling at %v before now %v", t, s.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("des: scheduling at non-finite time %v", t))
+	}
+	e := &Event{Time: t, Priority: priority, Fn: fn, seq: s.seq}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// ScheduleAfter queues fn to run delay time units from now.
+func (s *Simulator) ScheduleAfter(delay float64, priority int, fn func()) *Event {
+	return s.Schedule(s.now+delay, priority, fn)
+}
+
+// Cancel marks a queued event so it will not fire.  Canceling an already
+// fired or canceled event is a no-op.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.canceled || e.index < 0 {
+		if e != nil {
+			e.canceled = true
+		}
+		return
+	}
+	e.canceled = true
+	heap.Remove(&s.events, e.index)
+}
+
+// Step dispatches the single next event.  It returns false when no events
+// remain.
+func (s *Simulator) Step() bool {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.Time
+		s.dispatched++
+		e.Fn()
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until the queue is empty.
+func (s *Simulator) Run() {
+	s.running = true
+	for s.running && s.Step() {
+	}
+	s.running = false
+}
+
+// RunUntil dispatches events with Time <= tEnd, then advances the clock to
+// exactly tEnd.  Events scheduled beyond tEnd remain queued.
+func (s *Simulator) RunUntil(tEnd float64) {
+	if tEnd < s.now {
+		panic(fmt.Sprintf("des: RunUntil(%v) before now %v", tEnd, s.now))
+	}
+	s.running = true
+	for s.running {
+		// Peek.
+		var next *Event
+		for len(s.events) > 0 && s.events[0].canceled {
+			heap.Pop(&s.events)
+		}
+		if len(s.events) == 0 {
+			break
+		}
+		next = s.events[0]
+		if next.Time > tEnd {
+			break
+		}
+		s.Step()
+	}
+	s.running = false
+	if s.now < tEnd {
+		s.now = tEnd
+	}
+}
+
+// Stop makes a Run/RunUntil in progress return after the current event.
+func (s *Simulator) Stop() { s.running = false }

@@ -1,0 +1,78 @@
+package dist
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"windowctl/internal/rngutil"
+)
+
+// TestLSTComplexMatchesRealOnAxis: on the real axis the complex LST must
+// coincide with the real implementation, for every law.
+func TestLSTComplexMatchesRealOnAxis(t *testing.T) {
+	for _, d := range allLaws() {
+		for s := 0.0; s <= 5; s += 0.25 {
+			got, err := LSTComplex(d, complex(s, 0))
+			if err != nil {
+				t.Fatalf("%v: %v", d, err)
+			}
+			want := d.LST(s)
+			if math.Abs(real(got)-want) > 1e-10 || math.Abs(imag(got)) > 1e-10 {
+				t.Fatalf("%v at s=%v: complex %v vs real %v", d, s, got, want)
+			}
+		}
+	}
+}
+
+// TestLSTComplexCharacteristicConsistency: |φ(iω)| <= 1 for all ω — the
+// transform on the imaginary axis is a characteristic function.
+func TestLSTComplexCharacteristicConsistency(t *testing.T) {
+	for _, d := range allLaws() {
+		for w := -10.0; w <= 10; w += 0.5 {
+			v, err := LSTComplex(d, complex(0, w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cmplx.Abs(v) > 1+1e-10 {
+				t.Fatalf("%v: |phi(i%v)| = %v > 1", d, w, cmplx.Abs(v))
+			}
+		}
+	}
+}
+
+// TestLSTComplexMonteCarlo cross-checks E[e^{-sX}] at a complex point by
+// sampling.
+func TestLSTComplexMonteCarlo(t *testing.T) {
+	r := rngutil.New(71)
+	s := complex(0.5, 0.7)
+	for _, d := range allLaws() {
+		want, err := LSTComplex(d, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := r.Spawn()
+		const n = 200000
+		var acc complex128
+		for i := 0; i < n; i++ {
+			acc += cmplx.Exp(-s * complex(d.Sample(st), 0))
+		}
+		got := acc / complex(n, 0)
+		if cmplx.Abs(got-want) > 0.01 {
+			t.Fatalf("%v: MC %v vs analytic %v", d, got, want)
+		}
+	}
+}
+
+// fakeDist is an unknown Distribution implementation.
+type fakeDist struct{ Deterministic }
+
+func TestLSTComplexUnknownType(t *testing.T) {
+	if _, err := LSTComplex(fakeDist{}, 1); err == nil {
+		t.Fatal("unknown distribution type accepted")
+	}
+	// Shifted propagates inner errors.
+	if _, err := LSTComplex(Shifted{Base: fakeDist{}, Offset: 1}, 1); err == nil {
+		t.Fatal("shifted unknown base accepted")
+	}
+}

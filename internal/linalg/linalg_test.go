@@ -1,0 +1,229 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"windowctl/internal/rngutil"
+)
+
+func TestIdentitySolve(t *testing.T) {
+	a := Identity(4)
+	b := []float64{1, 2, 3, 4}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if math.Abs(x[i]-b[i]) > 1e-14 {
+			t.Fatalf("identity solve: x=%v", x)
+		}
+	}
+}
+
+func TestKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10  => x = 1, y = 3.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	x, err := Solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("solve got %v, want [1 3]", x)
+	}
+}
+
+func TestPivotingRequired(t *testing.T) {
+	// Zero on the leading diagonal forces a row swap.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 0)
+	x, err := Solve(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Fatalf("pivoted solve got %v, want [3 2]", x)
+	}
+}
+
+func TestSingularDetected(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Fatal("singular matrix not detected")
+	}
+}
+
+func TestDeterminant(t *testing.T) {
+	a := NewMatrix(3, 3)
+	vals := [][]float64{{2, 0, 0}, {0, 3, 0}, {0, 0, 4}}
+	for i := range vals {
+		for j := range vals[i] {
+			a.Set(i, j, vals[i][j])
+		}
+	}
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Det()-24) > 1e-12 {
+		t.Fatalf("det = %v, want 24", f.Det())
+	}
+	// Swapping two rows flips the sign.
+	b := NewMatrix(3, 3)
+	order := []int{1, 0, 2}
+	for i := range vals {
+		for j := range vals[i] {
+			b.Set(i, j, vals[order[i]][j])
+		}
+	}
+	fb, err := Factor(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fb.Det()+24) > 1e-12 {
+		t.Fatalf("swapped det = %v, want -24", fb.Det())
+	}
+}
+
+func TestMulAndMulVec(t *testing.T) {
+	a := NewMatrix(2, 3)
+	for j := 0; j < 3; j++ {
+		a.Set(0, j, float64(j+1)) // [1 2 3]
+		a.Set(1, j, float64(j+4)) // [4 5 6]
+	}
+	v := a.MulVec([]float64{1, 1, 1})
+	if v[0] != 6 || v[1] != 15 {
+		t.Fatalf("MulVec got %v", v)
+	}
+	b := NewMatrix(3, 2)
+	for i := 0; i < 3; i++ {
+		b.Set(i, 0, 1)
+		b.Set(i, 1, 2)
+	}
+	c := a.Mul(b)
+	if c.At(0, 0) != 6 || c.At(0, 1) != 12 || c.At(1, 0) != 15 || c.At(1, 1) != 30 {
+		t.Fatalf("Mul wrong: %+v", c)
+	}
+}
+
+func TestFactorReuse(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solve two right-hand sides with the same factorization.
+	x1, err := f.Solve([]float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := f.Solve([]float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := ResidualNorm(a, x1, []float64{1, 0}); r > 1e-12 {
+		t.Fatalf("residual 1: %v", r)
+	}
+	if r := ResidualNorm(a, x2, []float64{0, 1}); r > 1e-12 {
+		t.Fatalf("residual 2: %v", r)
+	}
+}
+
+func TestDimensionErrors(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := Factor(a); err == nil {
+		t.Fatal("non-square factor accepted")
+	}
+	sq := Identity(2)
+	f, _ := Factor(sq)
+	if _, err := f.Solve([]float64{1, 2, 3}); err == nil {
+		t.Fatal("wrong-length rhs accepted")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewMatrix(0, 1) },
+		func() { NewMatrix(1, 1).At(1, 0) },
+		func() { NewMatrix(1, 1).Set(0, 2, 1) },
+		func() { NewMatrix(2, 2).MulVec([]float64{1}) },
+		func() { NewMatrix(2, 3).Mul(NewMatrix(2, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: random diagonally dominant systems solve with tiny residuals.
+func TestRandomSystemsProperty(t *testing.T) {
+	f := func(seed uint64, sz uint8) bool {
+		n := int(sz%8) + 2
+		r := rngutil.New(seed)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			rowSum := 0.0
+			for j := 0; j < n; j++ {
+				v := 2*r.Float64() - 1
+				a.Set(i, j, v)
+				rowSum += math.Abs(v)
+			}
+			a.Add(i, i, rowSum+1) // ensure non-singularity
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = 10 * (r.Float64() - 0.5)
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		return ResidualNorm(a, x, b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSolve100(b *testing.B) {
+	r := rngutil.New(1)
+	n := 100
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, r.Float64())
+		}
+		a.Add(i, i, float64(n))
+	}
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package numerics
+
+import (
+	"math"
+	"math/bits"
+)
+
+// FFT computes the in-place radix-2 Cooley–Tukey discrete Fourier
+// transform of a, whose length must be a power of two.  When inverse is
+// true the inverse transform (including the 1/n scaling) is computed.
+func FFT(a []complex128, inverse bool) {
+	n := len(a)
+	if n == 0 || n&(n-1) != 0 {
+		panic("numerics: FFT length must be a positive power of two")
+	}
+	// Bit-reversal permutation.
+	shift := bits.LeadingZeros(uint(n)) + 1
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse(uint(i)) >> shift)
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		ang := 2 * math.Pi / float64(size)
+		if !inverse {
+			ang = -ang
+		}
+		wBase := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			half := size / 2
+			for k := 0; k < half; k++ {
+				u := a[start+k]
+				v := a[start+k+half] * w
+				a[start+k] = u + v
+				a[start+k+half] = u - v
+				w *= wBase
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range a {
+			a[i] *= inv
+		}
+	}
+}
+
+// LinearConvolve returns the linear convolution of x and y (length
+// len(x)+len(y)−1) via FFT.
+func LinearConvolve(x, y []float64) []float64 {
+	if len(x) == 0 || len(y) == 0 {
+		return nil
+	}
+	outLen := len(x) + len(y) - 1
+	n := 1
+	for n < outLen {
+		n <<= 1
+	}
+	fx := make([]complex128, n)
+	fy := make([]complex128, n)
+	for i, v := range x {
+		fx[i] = complex(v, 0)
+	}
+	for i, v := range y {
+		fy[i] = complex(v, 0)
+	}
+	FFT(fx, false)
+	FFT(fy, false)
+	for i := range fx {
+		fx[i] *= fy[i]
+	}
+	FFT(fx, true)
+	out := make([]float64, outLen)
+	for i := range out {
+		out[i] = real(fx[i])
+	}
+	return out
+}
+
+// ConvolveFFT is the FFT-accelerated equivalent of Grid.Convolve: it
+// returns the trapezoid-weighted density convolution
+// (f*h)(x) = ∫₀ˣ f(x−u)h(u) du tabulated on the receiver's support.  Both
+// grids must share the same step and length.  Results agree with Convolve
+// to rounding error but cost O(n·log n) instead of O(n²).
+func (g *Grid) ConvolveFFT(h *Grid) *Grid {
+	if h.Step != g.Step || len(h.Y) != len(g.Y) {
+		panic("numerics: ConvolveFFT requires equal-shape grids")
+	}
+	n := len(g.Y)
+	plain := LinearConvolve(g.Y, h.Y)
+	out := NewGrid(g.Step, n)
+	for i := 1; i < n; i++ {
+		// Trapezoid endpoint correction: the rectangle sum counts the
+		// j = 0 and j = i endpoints with weight 1; trapezoid wants ½.
+		v := plain[i] - 0.5*g.Y[i]*h.Y[0] - 0.5*g.Y[0]*h.Y[i]
+		out.Y[i] = v * g.Step
+	}
+	out.Y[0] = 0
+	return out
+}

@@ -1,0 +1,155 @@
+package numerics
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"windowctl/internal/rngutil"
+)
+
+func TestFFTRoundTrip(t *testing.T) {
+	r := rngutil.New(31)
+	a := make([]complex128, 64)
+	orig := make([]complex128, 64)
+	for i := range a {
+		a[i] = complex(r.Normal(), r.Normal())
+		orig[i] = a[i]
+	}
+	FFT(a, false)
+	FFT(a, true)
+	for i := range a {
+		if cmplx.Abs(a[i]-orig[i]) > 1e-10 {
+			t.Fatalf("round trip failed at %d: %v vs %v", i, a[i], orig[i])
+		}
+	}
+}
+
+func TestFFTKnownTransform(t *testing.T) {
+	// Unit impulse transforms to all-ones.
+	a := make([]complex128, 8)
+	a[0] = 1
+	FFT(a, false)
+	for i, v := range a {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse transform wrong at %d: %v", i, v)
+		}
+	}
+	// Constant transforms to an impulse of height n.
+	b := make([]complex128, 8)
+	for i := range b {
+		b[i] = 1
+	}
+	FFT(b, false)
+	if cmplx.Abs(b[0]-8) > 1e-12 {
+		t.Fatalf("DC bin %v", b[0])
+	}
+	for i := 1; i < 8; i++ {
+		if cmplx.Abs(b[i]) > 1e-12 {
+			t.Fatalf("non-DC bin %d = %v", i, b[i])
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	r := rngutil.New(32)
+	a := make([]complex128, 128)
+	sumT := 0.0
+	for i := range a {
+		a[i] = complex(r.Normal(), 0)
+		sumT += real(a[i]) * real(a[i])
+	}
+	FFT(a, false)
+	sumF := 0.0
+	for _, v := range a {
+		sumF += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(sumF/float64(len(a))-sumT) > 1e-8 {
+		t.Fatalf("Parseval violated: %v vs %v", sumF/128, sumT)
+	}
+}
+
+func TestFFTPanicsOnBadLength(t *testing.T) {
+	for _, n := range []int{0, 3, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("length %d accepted", n)
+				}
+			}()
+			FFT(make([]complex128, n), false)
+		}()
+	}
+}
+
+func TestLinearConvolveSmall(t *testing.T) {
+	got := LinearConvolve([]float64{1, 2, 3}, []float64{4, 5})
+	want := []float64{4, 13, 22, 15}
+	if len(got) != len(want) {
+		t.Fatalf("length %d", len(got))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Fatalf("conv[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if LinearConvolve(nil, []float64{1}) != nil {
+		t.Fatal("empty input should give nil")
+	}
+}
+
+func TestConvolveFFTMatchesDirect(t *testing.T) {
+	step, n := 0.01, 700
+	f := Tabulate(func(x float64) float64 { return math.Exp(-x) }, step, n)
+	h := Tabulate(func(x float64) float64 { return 2 * math.Exp(-2*x) }, step, n)
+	direct := f.Convolve(h)
+	fast := f.ConvolveFFT(h)
+	for i := 0; i < n; i++ {
+		if math.Abs(direct.Y[i]-fast.Y[i]) > 1e-9 {
+			t.Fatalf("mismatch at %d: direct %v, fft %v", i, direct.Y[i], fast.Y[i])
+		}
+	}
+}
+
+func TestConvolveFFTPanicsOnShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch accepted")
+		}
+	}()
+	NewGrid(1, 8).ConvolveFFT(NewGrid(1, 9))
+}
+
+// Property: FFT convolution equals direct convolution on random densities.
+func TestConvolveFFTEquivalenceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rngutil.New(seed)
+		n := 128 + int(seed%100)
+		a := NewGrid(0.05, n)
+		b := NewGrid(0.05, n)
+		for i := 0; i < n; i++ {
+			a.Y[i] = r.Float64()
+			b.Y[i] = r.Float64()
+		}
+		d := a.Convolve(b)
+		q := a.ConvolveFFT(b)
+		for i := 0; i < n; i++ {
+			if math.Abs(d.Y[i]-q.Y[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkConvolveFFT(b *testing.B) {
+	f := Tabulate(func(x float64) float64 { return math.Exp(-x) }, 0.01, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.ConvolveFFT(f)
+	}
+}

@@ -1,0 +1,139 @@
+package numerics
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// LaplaceFunc is an ordinary Laplace transform L(s) = ∫₀^∞ e^(−st) f(t) dt,
+// evaluated at complex s with Re(s) > 0.
+type LaplaceFunc func(s complex128) complex128
+
+// InvertLaplaceEuler numerically inverts the ordinary Laplace transform L
+// at the point t > 0 using the Euler algorithm of Abate and Whitt (ORSA J.
+// Computing, 1995): a Bromwich-integral trapezoid with binomial (Euler)
+// acceleration of the alternating tail.  With the standard parameters used
+// here (A = 18.4, n = 38, m = 11) the discretization error is about 1e-8
+// for transforms of smooth, bounded functions — ample for tabulating the
+// waiting-time distributions of the LCFS baseline.
+func InvertLaplaceEuler(L LaplaceFunc, t float64) float64 {
+	if t <= 0 {
+		panic("numerics: InvertLaplaceEuler requires t > 0")
+	}
+	const (
+		aParam = 18.4
+		n      = 38 // plain terms before Euler averaging
+		m      = 11 // binomial averaging depth
+	)
+	a := aParam / (2 * t)
+	h := math.Pi / t
+
+	// Partial sums s_k of the alternating series.
+	partial := make([]float64, n+m+1)
+	sum := 0.5 * real(L(complex(a, 0)))
+	sign := -1.0
+	for k := 1; k <= n+m; k++ {
+		term := sign * real(L(complex(a, float64(k)*h)))
+		sum += term
+		partial[k] = sum
+		sign = -sign
+	}
+	partial[0] = 0.5 * real(L(complex(a, 0)))
+	// Recompute partial[1..] including partial[0] base (the loop above
+	// already accumulated from the k=0 base, so partial[k] is correct for
+	// k >= 1; fix k = 0 which the loop never wrote).
+	// Euler (binomial) average of partial[n..n+m].
+	avg := 0.0
+	binom := 1.0 // C(m, 0)
+	for j := 0; j <= m; j++ {
+		avg += binom * partial[n+j]
+		binom = binom * float64(m-j) / float64(j+1)
+	}
+	avg /= math.Exp2(float64(m))
+	return math.Exp(aParam/2) / t * avg
+}
+
+// InvertLaplaceGaver inverts the Laplace transform L at t > 0 using the
+// Gaver–Stehfest method with 2·m real evaluations (no complex arithmetic).
+// In IEEE double precision m = 7 is about the practical limit; accuracy is
+// roughly 1e-5 for smooth functions.  Useful as an independent cross-check
+// of the Euler inversion.
+func InvertLaplaceGaver(L func(s float64) float64, t float64) float64 {
+	if t <= 0 {
+		panic("numerics: InvertLaplaceGaver requires t > 0")
+	}
+	const m = 7
+	weights := stehfestWeights(m)
+	ln2t := math.Ln2 / t
+	sum := 0.0
+	for k := 1; k <= 2*m; k++ {
+		sum += weights[k] * L(float64(k)*ln2t)
+	}
+	return ln2t * sum
+}
+
+// stehfestWeights returns the Stehfest coefficients ζ_1..ζ_{2m} (index 0
+// unused).
+func stehfestWeights(m int) []float64 {
+	w := make([]float64, 2*m+1)
+	for k := 1; k <= 2*m; k++ {
+		sign := 1.0
+		if (k+m)%2 == 1 {
+			sign = -1
+		}
+		sum := 0.0
+		jLo := (k + 1) / 2
+		jHi := k
+		if jHi > m {
+			jHi = m
+		}
+		for j := jLo; j <= jHi; j++ {
+			num := math.Pow(float64(j), float64(m)) * factorial(2*j)
+			den := factorial(m-j) * factorial(j) * factorial(j-1) * factorial(k-j) * factorial(2*j-k)
+			sum += num / den
+		}
+		w[k] = sign * sum
+	}
+	return w
+}
+
+func factorial(n int) float64 {
+	f := 1.0
+	for i := 2; i <= n; i++ {
+		f *= float64(i)
+	}
+	return f
+}
+
+// CDFFromLST tabulates the CDF F(t) of a non-negative random variable from
+// its Laplace–Stieltjes transform φ(s) = E[e^{−sX}], using the identity
+// L{F}(s) = φ(s)/s and Euler inversion.  Results are clamped to [0, 1].
+func CDFFromLST(phi func(s complex128) complex128, t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	v := InvertLaplaceEuler(func(s complex128) complex128 { return phi(s) / s }, t)
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// SolveFunctionalFixedPoint solves θ = G(θ, s) for a complex contraction G
+// (used for the M/G/1 busy-period transform θ(s) = B*(s + λ − λθ(s))).
+// It iterates from θ₀ = 0 until successive values differ by less than tol
+// in modulus, or maxIter iterations.
+func SolveFunctionalFixedPoint(G func(theta complex128) complex128, tol float64, maxIter int) complex128 {
+	theta := complex(0, 0)
+	for i := 0; i < maxIter; i++ {
+		next := G(theta)
+		if cmplx.Abs(next-theta) < tol {
+			return next
+		}
+		theta = next
+	}
+	return theta
+}

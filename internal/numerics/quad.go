@@ -1,0 +1,197 @@
+package numerics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Trapezoid integrates f over [a, b] with n uniform panels.  It panics if
+// n <= 0 or b < a.
+func Trapezoid(f func(float64) float64, a, b float64, n int) float64 {
+	if n <= 0 {
+		panic("numerics: Trapezoid with n <= 0")
+	}
+	if b < a {
+		panic("numerics: Trapezoid with b < a")
+	}
+	if a == b {
+		return 0
+	}
+	h := (b - a) / float64(n)
+	sum := (f(a) + f(b)) / 2
+	for i := 1; i < n; i++ {
+		sum += f(a + float64(i)*h)
+	}
+	return sum * h
+}
+
+// Simpson integrates f over [a, b] with n uniform panels (n is rounded up
+// to the next even value).  Fourth-order accurate for smooth integrands.
+func Simpson(f func(float64) float64, a, b float64, n int) float64 {
+	if n <= 0 {
+		panic("numerics: Simpson with n <= 0")
+	}
+	if b < a {
+		panic("numerics: Simpson with b < a")
+	}
+	if a == b {
+		return 0
+	}
+	if n%2 == 1 {
+		n++
+	}
+	h := (b - a) / float64(n)
+	sum := f(a) + f(b)
+	for i := 1; i < n; i++ {
+		x := a + float64(i)*h
+		if i%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sum * h / 3
+}
+
+// AdaptiveSimpson integrates f over [a, b] to the requested absolute
+// tolerance using recursive interval halving, up to maxDepth levels.
+func AdaptiveSimpson(f func(float64) float64, a, b, tol float64, maxDepth int) float64 {
+	if b < a {
+		panic("numerics: AdaptiveSimpson with b < a")
+	}
+	if a == b {
+		return 0
+	}
+	fa, fb := f(a), f(b)
+	m := (a + b) / 2
+	fm := f(m)
+	whole := (b - a) / 6 * (fa + 4*fm + fb)
+	return adaptiveSimpsonAux(f, a, b, fa, fb, fm, whole, tol, maxDepth)
+}
+
+func adaptiveSimpsonAux(f func(float64) float64, a, b, fa, fb, fm, whole, tol float64, depth int) float64 {
+	m := (a + b) / 2
+	lm, rm := (a+m)/2, (m+b)/2
+	flm, frm := f(lm), f(rm)
+	left := (m - a) / 6 * (fa + 4*flm + fm)
+	right := (b - m) / 6 * (fm + 4*frm + fb)
+	if depth <= 0 || math.Abs(left+right-whole) <= 15*tol {
+		return left + right + (left+right-whole)/15
+	}
+	return adaptiveSimpsonAux(f, a, m, fa, fm, flm, left, tol/2, depth-1) +
+		adaptiveSimpsonAux(f, m, b, fm, fb, frm, right, tol/2, depth-1)
+}
+
+// Bisect finds a root of f in [a, b] (where f(a) and f(b) must have
+// opposite signs) to the given x-tolerance.  It returns an error if the
+// root is not bracketed.
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if fa*fb > 0 {
+		return 0, fmt.Errorf("numerics: root not bracketed on [%v, %v] (f=%v, %v)", a, b, fa, fb)
+	}
+	for b-a > tol {
+		m := (a + b) / 2
+		fm := f(m)
+		if fm == 0 {
+			return m, nil
+		}
+		if fa*fm < 0 {
+			b, fb = m, fm
+		} else {
+			a, fa = m, fm
+		}
+	}
+	_ = fb
+	return (a + b) / 2, nil
+}
+
+// GoldenSection minimizes a unimodal f on [a, b] to the given x-tolerance
+// and returns the minimizer.
+func GoldenSection(f func(float64) float64, a, b, tol float64) float64 {
+	if b < a {
+		a, b = b, a
+	}
+	const invPhi = 0.6180339887498949 // 1/φ
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for b-a > tol {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		}
+	}
+	return (a + b) / 2
+}
+
+// MinimizeGrid evaluates f at n+1 uniformly spaced points of [a, b] and
+// returns the abscissa and value of the smallest sample.  It is the robust
+// companion to GoldenSection when unimodality is uncertain.
+func MinimizeGrid(f func(float64) float64, a, b float64, n int) (xMin, fMin float64) {
+	if n <= 0 {
+		panic("numerics: MinimizeGrid with n <= 0")
+	}
+	h := (b - a) / float64(n)
+	xMin, fMin = a, f(a)
+	for i := 1; i <= n; i++ {
+		x := a + float64(i)*h
+		if v := f(x); v < fMin {
+			xMin, fMin = x, v
+		}
+	}
+	return xMin, fMin
+}
+
+// FixedPoint iterates x ← g(x) with damping until successive iterates
+// differ by less than tol, or maxIter is reached (returning an error).
+// Damping factor w in (0, 1] blends x_{n+1} = w·g(x_n) + (1−w)·x_n, which
+// stabilizes the loss↔service coupling iteration of §4.1.
+func FixedPoint(g func(float64) float64, x0, w, tol float64, maxIter int) (float64, error) {
+	if w <= 0 || w > 1 {
+		return 0, fmt.Errorf("numerics: FixedPoint damping %v outside (0,1]", w)
+	}
+	x := x0
+	for i := 0; i < maxIter; i++ {
+		next := w*g(x) + (1-w)*x
+		if math.Abs(next-x) < tol {
+			return next, nil
+		}
+		x = next
+	}
+	return x, fmt.Errorf("numerics: fixed point did not converge in %d iterations (last=%v)", maxIter, x)
+}
+
+// GeometricSeriesSum computes Σ_{i=0}^{∞} ρ^i·a(i), truncating once the
+// bound ρ^i·cap/(1−ρ) of the remaining tail falls below tol, where cap
+// bounds |a(i)|.  It returns the sum and the number of terms used.  For
+// ρ >= 1 it sums until a(i)·ρ^i < tol (the caller must guarantee a(i)
+// decays, as ∫₀ᴷβ⁽ⁱ⁾ does), up to maxTerms.
+func GeometricSeriesSum(rho float64, a func(int) float64, capBound, tol float64, maxTerms int) (sum float64, terms int) {
+	pow := 1.0
+	for i := 0; i < maxTerms; i++ {
+		term := pow * a(i)
+		sum += term
+		terms = i + 1
+		if rho < 1 {
+			if pow*rho*capBound/(1-rho) < tol {
+				break
+			}
+		} else if i > 0 && math.Abs(term) < tol {
+			break
+		}
+		pow *= rho
+	}
+	return sum, terms
+}

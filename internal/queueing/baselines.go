@@ -1,0 +1,252 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+
+	"windowctl/internal/dist"
+	"windowctl/internal/numerics"
+)
+
+// MG1 is a plain (infinitely patient) M/G/1 queue, modelling the
+// *uncontrolled* window protocols of [Kurose 83]: every message is
+// eventually transmitted; a message counts as lost when its waiting time
+// exceeds the constraint, but it still consumes the channel.
+type MG1 struct {
+	// Lambda is the Poisson arrival rate.
+	Lambda float64
+	// Service is the service-time law.
+	Service dist.Distribution
+	// Step is the convolution grid spacing (0 = automatic).
+	Step float64
+	// MaxTerms bounds the Beneš series (0 = 4096).
+	MaxTerms int
+}
+
+// Rho returns the offered load λ·E[X].
+func (q MG1) Rho() float64 { return q.Lambda * q.Service.Mean() }
+
+func (q MG1) validate() error {
+	if q.Lambda <= 0 {
+		return fmt.Errorf("queueing: arrival rate %v must be positive", q.Lambda)
+	}
+	if q.Service == nil || q.Service.Mean() <= 0 {
+		return fmt.Errorf("queueing: invalid service distribution")
+	}
+	if q.Rho() >= 1 {
+		return fmt.Errorf("queueing: unstable M/G/1 (rho=%v >= 1); the uncontrolled baseline has no steady state", q.Rho())
+	}
+	return nil
+}
+
+// MeanWait returns the Pollaczek–Khinchine mean waiting time
+// λ·E[X²] / (2(1−ρ)).
+func (q MG1) MeanWait() (float64, error) {
+	if err := q.validate(); err != nil {
+		return 0, err
+	}
+	return q.Lambda * q.Service.SecondMoment() / (2 * (1 - q.Rho())), nil
+}
+
+// WaitCDF evaluates the FCFS waiting-time distribution at the given points
+// using the Beneš / Takács series
+//
+//	P(W <= w) = (1−ρ) Σ_{i≥0} ρ^i ∫₀ʷ β⁽ⁱ⁾(u) du ,
+//
+// the unfinished-work law whose truncation at K the paper's equation 4.4
+// reuses.  P(W > K) is the loss fraction of the uncontrolled FCFS window
+// protocol.
+func (q MG1) WaitCDF(ws []float64) ([]float64, error) {
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	wMax := 0.0
+	for _, w := range ws {
+		if w < 0 {
+			return nil, fmt.Errorf("queueing: negative evaluation point %v", w)
+		}
+		if w > wMax {
+			wMax = w
+		}
+	}
+	rho := q.Rho()
+	if wMax == 0 {
+		out := make([]float64, len(ws))
+		for i := range out {
+			out[i] = 1 - rho // P(W = 0) = P(idle)
+		}
+		return out, nil
+	}
+	step := q.Step
+	if step <= 0 {
+		step = math.Min(wMax, q.Service.Mean()) / 512
+	}
+	n := int(wMax/step) + 2
+	xbar := q.Service.Mean()
+	beta := numerics.Tabulate(func(u float64) float64 {
+		return (1 - q.Service.CDF(u)) / xbar
+	}, step, n)
+
+	maxTerms := q.MaxTerms
+	if maxTerms <= 0 {
+		maxTerms = 4096
+	}
+	sums := make([]float64, len(ws))
+	for j := range sums {
+		sums[j] = 1 // i = 0 atom at zero
+	}
+	conv := beta.Clone()
+	pow := rho
+	const tol = 1e-12
+	for i := 1; i <= maxTerms; i++ {
+		mass := conv.IntegralTo(wMax)
+		for j, w := range ws {
+			sums[j] += pow * conv.IntegralTo(w)
+		}
+		if pow*mass < tol {
+			break
+		}
+		if i == maxTerms {
+			return nil, fmt.Errorf("queueing: Beneš series did not converge in %d terms", maxTerms)
+		}
+		conv = conv.ConvolveFFT(beta)
+		pow *= rho
+	}
+	out := make([]float64, len(ws))
+	for j := range ws {
+		out[j] = (1 - rho) * sums[j]
+		if out[j] > 1 {
+			out[j] = 1
+		}
+	}
+	return out, nil
+}
+
+// LossFCFS returns P(W > K) for the FCFS baseline.
+func (q MG1) LossFCFS(k float64) (float64, error) {
+	if k < 0 {
+		return 0, fmt.Errorf("queueing: negative constraint %v", k)
+	}
+	cdf, err := q.WaitCDF([]float64{k})
+	if err != nil {
+		return 0, err
+	}
+	return 1 - cdf[0], nil
+}
+
+// ---------------------------------------------------------------------------
+// LCFS (non-preemptive) baseline via transform inversion
+// ---------------------------------------------------------------------------
+
+// busyPeriodLST returns the busy-period transform θ(s), the unique root in
+// the unit disk of θ = B*(s + λ − λθ), by functional iteration.
+func (q MG1) busyPeriodLST(s complex128) (complex128, error) {
+	lambda := complex(q.Lambda, 0)
+	var iterErr error
+	theta := numerics.SolveFunctionalFixedPoint(func(th complex128) complex128 {
+		v, err := dist.LSTComplex(q.Service, s+lambda-lambda*th)
+		if err != nil {
+			iterErr = err
+			return th
+		}
+		return v
+	}, 1e-13, 20000)
+	return theta, iterErr
+}
+
+// waitLSTLCFS returns the waiting-time LST of the non-preemptive LCFS
+// M/G/1 queue:
+//
+//	W*(s) = (1−ρ) + ρ·R*(s + λ − λθ(s)) ,
+//
+// where R* is the residual-service transform (1 − B*(u))/(u·E[X]) and θ
+// the busy-period transform: an arriving customer waits for the residual
+// service of the customer in service plus the full sub-busy periods of
+// everyone arriving during that residual time (they are younger and go
+// first under LCFS).
+func (q MG1) waitLSTLCFS(s complex128) (complex128, error) {
+	rho := q.Rho()
+	theta, err := q.busyPeriodLST(s)
+	if err != nil {
+		return 0, err
+	}
+	u := s + complex(q.Lambda, 0)*(1-theta)
+	bu, err := dist.LSTComplex(q.Service, u)
+	if err != nil {
+		return 0, err
+	}
+	var rStar complex128
+	if u == 0 {
+		rStar = 1
+	} else {
+		rStar = (1 - bu) / (u * complex(q.Service.Mean(), 0))
+	}
+	return complex(1-rho, 0) + complex(rho, 0)*rStar, nil
+}
+
+// WaitCDFLCFS evaluates the LCFS-NP waiting-time distribution at w > 0 by
+// Euler inversion of W*(s)/s.  The result is clamped to [1−ρ, 1]: P(W=0)
+// is exactly 1−ρ, so no smaller value is meaningful.
+func (q MG1) WaitCDFLCFS(w float64) (float64, error) {
+	if err := q.validate(); err != nil {
+		return 0, err
+	}
+	if w <= 0 {
+		return 1 - q.Rho(), nil
+	}
+	var inner error
+	v := numerics.InvertLaplaceEuler(func(s complex128) complex128 {
+		lst, err := q.waitLSTLCFS(s)
+		if err != nil {
+			inner = err
+			return 0
+		}
+		return lst / s
+	}, w)
+	if inner != nil {
+		return 0, inner
+	}
+	lo := 1 - q.Rho()
+	if v < lo {
+		v = lo
+	}
+	if v > 1 {
+		v = 1
+	}
+	return v, nil
+}
+
+// LossLCFS returns P(W > K) for the LCFS baseline.
+func (q MG1) LossLCFS(k float64) (float64, error) {
+	cdf, err := q.WaitCDFLCFS(k)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - cdf, nil
+}
+
+// MeanWaitLCFS integrates the LCFS waiting tail numerically:
+// E[W] = ∫₀^∞ P(W > t) dt.  For the non-preemptive LCFS discipline this
+// must equal the FCFS (PK) mean — a strong internal consistency check used
+// by the tests.
+func (q MG1) MeanWaitLCFS(upTo float64, panels int) (float64, error) {
+	if err := q.validate(); err != nil {
+		return 0, err
+	}
+	var inner error
+	v := numerics.Trapezoid(func(t float64) float64 {
+		if t == 0 {
+			return q.Rho()
+		}
+		cdf, err := q.WaitCDFLCFS(t)
+		if err != nil {
+			inner = err
+			return 0
+		}
+		return 1 - cdf
+	}, 0, upTo, panels)
+	if inner != nil {
+		return 0, inner
+	}
+	return v, nil
+}

@@ -1,0 +1,214 @@
+// Package queueing implements the analytic performance models of §4 of the
+// paper and of the [Kurose 83] baselines it compares against:
+//
+//   - An M/G/1 queue with impatient customers (customers balk when the
+//     unfinished work exceeds the constraint K), whose loss probability is
+//     the paper's equation 4.7.  This models the *controlled* window
+//     protocol: policy elements (1), (3) and (4) make the distributed
+//     queue FCFS with sender-side discard.
+//   - The Beneš / Takács virtual-waiting-time distribution of the plain
+//     M/G/1 queue, giving the loss (fraction of messages later than K) of
+//     the uncontrolled FCFS window protocol.
+//   - The waiting-time law of the non-preemptive LCFS M/G/1 queue via its
+//     Laplace–Stieltjes transform and numerical inversion, giving the loss
+//     of the uncontrolled LCFS window protocol.
+//
+// All three share the message service-time law: windowing (scheduling)
+// overhead plus transmission time, built by internal/sched.
+package queueing
+
+import (
+	"fmt"
+	"math"
+
+	"windowctl/internal/dist"
+	"windowctl/internal/numerics"
+)
+
+// ImpatientMG1 is the M/G/1 queue with impatient customers of §4.1
+// (figure 5b): Poisson arrivals at rate Lambda join the FCFS queue if and
+// only if the unfinished work they find is below the constraint; otherwise
+// they are lost.  Service times follow the law Service.
+type ImpatientMG1 struct {
+	// Lambda is the arrival rate of all messages, lost or not.
+	Lambda float64
+	// Service is the service-time law (scheduling + transmission).
+	Service dist.Distribution
+	// Step is the grid spacing for the numerical convolutions; if zero, a
+	// spacing of min(K, mean service)/512 is chosen.
+	Step float64
+	// MaxTerms bounds the convolution series; 0 means 4096.
+	MaxTerms int
+}
+
+// Result carries the solved queue quantities.
+type Result struct {
+	// Loss is p(loss) of equation 4.7: the probability an arriving
+	// message finds unfinished work above K and is lost.
+	Loss float64
+	// ServerIdle is P(0), the probability the server is idle.
+	ServerIdle float64
+	// Rho is the offered load λ·E[service].
+	Rho float64
+	// Z is the truncated-series value z(K, ρ) of equation 4.7.
+	Z float64
+	// Terms is the number of series terms summed.
+	Terms int
+}
+
+// Solve computes the loss probability for constraint K > 0 using the
+// paper's equation 4.7:
+//
+//	p(loss) = 1 − z/(1 + ρ·z),   z(K,ρ) = Σ_{i≥0} ρ^i ∫₀ᴷ β⁽ⁱ⁾(w) dw,
+//
+// where β is the residual-service density and β⁽ⁱ⁾ its i-fold convolution
+// (β⁽⁰⁾ is the unit atom at 0, contributing 1).  Unlike the plain M/G/1,
+// the impatient queue is stable for any ρ, and the series converges for
+// ρ ≥ 1 too because ∫₀ᴷβ⁽ⁱ⁾ eventually decays super-geometrically.
+func (q ImpatientMG1) Solve(k float64) (Result, error) {
+	if err := q.validate(k); err != nil {
+		return Result{}, err
+	}
+	xbar := q.Service.Mean()
+	rho := q.Lambda * xbar
+	z, terms, err := q.seriesZ(k)
+	if err != nil {
+		return Result{}, err
+	}
+	// p(loss) = 1 − z/(1+ρz); equivalently the paper's 1 − ρ⁻¹ + 1/(ρ+ρ²z).
+	loss := 1 - z/(1+rho*z)
+	p0 := 1 / (1 + rho*z) // from ρ·p(accept) = 1 − P(0) and p(accept) = P(0)·z
+	if loss < 0 {
+		loss = 0
+	}
+	if loss > 1 {
+		loss = 1
+	}
+	return Result{Loss: loss, ServerIdle: p0, Rho: rho, Z: z, Terms: terms}, nil
+}
+
+func (q ImpatientMG1) validate(k float64) error {
+	if q.Lambda <= 0 {
+		return fmt.Errorf("queueing: arrival rate %v must be positive", q.Lambda)
+	}
+	if q.Service == nil {
+		return fmt.Errorf("queueing: missing service distribution")
+	}
+	if q.Service.Mean() <= 0 {
+		return fmt.Errorf("queueing: service mean must be positive")
+	}
+	if k <= 0 || math.IsNaN(k) || math.IsInf(k, 0) {
+		return fmt.Errorf("queueing: constraint K=%v must be positive and finite", k)
+	}
+	return nil
+}
+
+// residualGrid tabulates the residual-service density
+// β(w) = (1 − B(w))/E[X] on [0, k].
+func (q ImpatientMG1) residualGrid(k float64) *numerics.Grid {
+	step := q.Step
+	if step <= 0 {
+		step = math.Min(k, q.Service.Mean()) / 512
+	}
+	n := int(k/step) + 2
+	xbar := q.Service.Mean()
+	return numerics.Tabulate(func(w float64) float64 {
+		return (1 - q.Service.CDF(w)) / xbar
+	}, step, n)
+}
+
+// seriesZ evaluates z(K, ρ) = Σ ρ^i ∫₀ᴷ β⁽ⁱ⁾.
+func (q ImpatientMG1) seriesZ(k float64) (float64, int, error) {
+	maxTerms := q.MaxTerms
+	if maxTerms <= 0 {
+		maxTerms = 4096
+	}
+	rho := q.Lambda * q.Service.Mean()
+	beta := q.residualGrid(k)
+	const tol = 1e-10
+
+	sum := 1.0 // i = 0 term: unit atom at 0
+	conv := beta.Clone()
+	pow := rho
+	terms := 1
+	// a₁ = ∫₀ᴷ β; the masses a_i are non-increasing (each convolution with
+	// a sub-probability density on [0,K] cannot increase truncated mass),
+	// so once ρ·a_i < 1 the tail is geometrically dominated.
+	prevMass := 1.0
+	for i := 1; i <= maxTerms; i++ {
+		mass := conv.IntegralTo(k)
+		// Trapezoid quadrature over service laws with atoms (the
+		// geometric-lattice scheduling component) can overshoot the true
+		// mass by O(step); the true masses are provably non-increasing,
+		// so clamp rather than propagate the quadrature wiggle.
+		if mass > prevMass {
+			mass = prevMass
+		}
+		prevMass = mass
+		term := pow * mass
+		sum += term
+		terms = i + 1
+		// Tail bound: a_{i+j} <= a_i · a₁^j is valid but a₁ can exceed
+		// 1/ρ early on; stop when the current term is tiny and decaying.
+		if term < tol && (rho < 1 || mass < 1/(2*rho)) {
+			break
+		}
+		if i == maxTerms {
+			return 0, 0, fmt.Errorf("queueing: z-series did not converge in %d terms (last=%v)", maxTerms, term)
+		}
+		conv = conv.ConvolveFFT(beta)
+		pow *= rho
+	}
+	return sum, terms, nil
+}
+
+// AcceptedWaitCDF returns the waiting-time distribution of *accepted*
+// messages evaluated at w <= K:
+//
+//	P(W <= w | accepted) = F(w)/F(K),  F(w) = P(0)·Σ ρ^i ∫₀ʷ β⁽ⁱ⁾
+//
+// (equation 4.4 normalized by the acceptance probability).
+func (q ImpatientMG1) AcceptedWaitCDF(k float64, ws []float64) ([]float64, error) {
+	if err := q.validate(k); err != nil {
+		return nil, err
+	}
+	for _, w := range ws {
+		if w < 0 || w > k {
+			return nil, fmt.Errorf("queueing: evaluation point %v outside [0, K]", w)
+		}
+	}
+	rho := q.Lambda * q.Service.Mean()
+	beta := q.residualGrid(k)
+	maxTerms := q.MaxTerms
+	if maxTerms <= 0 {
+		maxTerms = 4096
+	}
+	sums := make([]float64, len(ws)) // Σ ρ^i ∫₀^{w_j} β⁽ⁱ⁾
+	for j := range sums {
+		sums[j] = 1 // i = 0 atom
+	}
+	zK := 1.0
+	conv := beta.Clone()
+	pow := rho
+	for i := 1; i <= maxTerms; i++ {
+		mass := conv.IntegralTo(k)
+		term := pow * mass
+		zK += term
+		for j, w := range ws {
+			sums[j] += pow * conv.IntegralTo(w)
+		}
+		if term < 1e-10 && (rho < 1 || mass < 1/(2*rho)) {
+			break
+		}
+		conv = conv.ConvolveFFT(beta)
+		pow *= rho
+	}
+	out := make([]float64, len(ws))
+	for j := range ws {
+		out[j] = sums[j] / zK
+		if out[j] > 1 {
+			out[j] = 1
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,316 @@
+package rngutil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with distinct seeds produced %d identical draws", same)
+	}
+}
+
+func TestCloneReplaysFuture(t *testing.T) {
+	a := New(42)
+	for i := 0; i < 13; i++ {
+		a.Uint64() // advance to an arbitrary mid-stream position
+	}
+	b := a.Clone()
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("clone diverged at draw %d", i)
+		}
+	}
+	// Advancing the clone does not disturb the original.
+	c := a.Clone()
+	c.Uint64()
+	want := b.Uint64()
+	if a.Uint64() != want {
+		t.Fatal("clone consumption leaked into original")
+	}
+}
+
+func TestSpawnIndependentOfConsumption(t *testing.T) {
+	a := New(7)
+	b := New(7)
+	// Consume different amounts from the parents before spawning.
+	for i := 0; i < 17; i++ {
+		a.Uint64()
+	}
+	ca := a.Spawn()
+	cb := b.Spawn()
+	for i := 0; i < 100; i++ {
+		if ca.Uint64() != cb.Uint64() {
+			t.Fatal("child identity depends on parent consumption")
+		}
+	}
+}
+
+func TestSpawnChildrenDistinct(t *testing.T) {
+	p := New(9)
+	kids := p.SpawnN(8)
+	seen := map[uint64]bool{}
+	for _, k := range kids {
+		v := k.Uint64()
+		if seen[v] {
+			t.Fatal("two spawned children produced the same first draw")
+		}
+		seen[v] = true
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(4)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnUnbiased(t *testing.T) {
+	r := New(5)
+	const n, buckets = 120000, 6
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d deviates from %v", b, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(6)
+	const n = 200000
+	rate := 2.5
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(rate)
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Fatalf("Exp mean = %v, want %v", mean, 1/rate)
+	}
+}
+
+func TestExpMemoryless(t *testing.T) {
+	// P(X > a+b | X > a) should equal P(X > b).
+	r := New(16)
+	const n = 300000
+	rate, a, b := 1.0, 0.7, 0.9
+	countA, countAB, countB := 0, 0, 0
+	for i := 0; i < n; i++ {
+		x := r.Exp(rate)
+		if x > a {
+			countA++
+			if x > a+b {
+				countAB++
+			}
+		}
+		if r.Exp(rate) > b {
+			countB++
+		}
+	}
+	condProb := float64(countAB) / float64(countA)
+	probB := float64(countB) / float64(n)
+	if math.Abs(condProb-probB) > 0.01 {
+		t.Fatalf("memorylessness violated: %v vs %v", condProb, probB)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(8)
+	p := 0.3
+	const n = 200000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(p)
+	}
+	mean := float64(sum) / n
+	want := (1 - p) / p
+	if math.Abs(mean-want) > 0.03 {
+		t.Fatalf("Geometric mean = %v, want %v", mean, want)
+	}
+}
+
+func TestGeometricPOne(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 100; i++ {
+		if r.Geometric(1) != 0 {
+			t.Fatal("Geometric(1) must be 0")
+		}
+	}
+}
+
+func TestPoissonMeanVariance(t *testing.T) {
+	for _, mean := range []float64{0.5, 3, 12, 80} {
+		r := New(uint64(10 + mean))
+		const n = 100000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v := float64(r.Poisson(mean))
+			sum += v
+			sumSq += v * v
+		}
+		m := sum / n
+		va := sumSq/n - m*m
+		if math.Abs(m-mean) > 0.05*mean+0.05 {
+			t.Fatalf("Poisson(%v) mean = %v", mean, m)
+		}
+		if math.Abs(va-mean) > 0.1*mean+0.1 {
+			t.Fatalf("Poisson(%v) variance = %v", mean, va)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(11)
+	const n = 300000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("Normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("Normal variance = %v", variance)
+	}
+}
+
+func TestBernoulliProbability(t *testing.T) {
+	r := New(12)
+	p := 0.37
+	const n = 200000
+	count := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(p) {
+			count++
+		}
+	}
+	got := float64(count) / n
+	if math.Abs(got-p) > 0.005 {
+		t.Fatalf("Bernoulli(%v) frequency = %v", p, got)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(13)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make([]bool, len(xs))
+	for _, v := range xs {
+		if v < 0 || v >= len(xs) || seen[v] {
+			t.Fatalf("not a permutation: %v", xs)
+		}
+		seen[v] = true
+	}
+}
+
+func TestFloat64OpenNeverZero(t *testing.T) {
+	r := New(14)
+	for i := 0; i < 100000; i++ {
+		if r.Float64Open() <= 0 {
+			t.Fatal("Float64Open returned non-positive value")
+		}
+	}
+}
+
+// Property: Intn always falls inside [0, n) for arbitrary seeds and bounds.
+func TestIntnRangeProperty(t *testing.T) {
+	f := func(seed uint64, bound uint16) bool {
+		n := int(bound%1000) + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Exp is always strictly positive.
+func TestExpPositiveProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			if r.Exp(1.5) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkExp(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Exp(1)
+	}
+}

@@ -1,0 +1,75 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// TwoPointFit reproduces the approximation lineage of [Kurose 83] that
+// §4 of the paper inherits: "these values were approximated by exactly
+// determining the average scheduling time for two arrival rates and
+// fitting a function to these endpoints to approximate the average
+// scheduling time for intermediate arrival rates."
+//
+// The fit anchors the mean wasted slots per scheduled message at two
+// window contents G₁ < G₂ (computed exactly by Analyze) and
+// log-interpolates between them.  It is meaningful on the congested
+// branch G >= G* only, where the overhead is monotone (resolution-
+// dominated, growing roughly logarithmically because splitting is
+// binary); across the optimum the overhead is U-shaped and no two-point
+// interpolation can follow it.  The 1983 papers needed such fits because
+// evaluating the recursion at every rate was costly; today Analyze is
+// exact and cheap, so the fit exists to quantify what the historical
+// approximation gives up (see the tests).
+type TwoPointFit struct {
+	g1, g2 float64
+	s1, s2 float64 // exact TotalSlots at the anchors
+}
+
+// NewTwoPointFit builds the fit from two anchor contents.
+func NewTwoPointFit(g1, g2 float64) (*TwoPointFit, error) {
+	if g1 <= 0 || g2 <= g1 {
+		return nil, fmt.Errorf("sched: need 0 < g1 < g2 (got %v, %v)", g1, g2)
+	}
+	return &TwoPointFit{
+		g1: g1, g2: g2,
+		s1: Analyze(g1).TotalSlots(),
+		s2: Analyze(g2).TotalSlots(),
+	}, nil
+}
+
+// MeanSlots returns the fitted mean wasted slots per scheduled message at
+// window content g (clamped to the anchor interval's extrapolation being
+// linear in log g).
+func (f *TwoPointFit) MeanSlots(g float64) (float64, error) {
+	if g <= 0 {
+		return 0, fmt.Errorf("sched: non-positive content %v", g)
+	}
+	// Linear in log g through the two anchors.
+	t := (math.Log(g) - math.Log(f.g1)) / (math.Log(f.g2) - math.Log(f.g1))
+	return f.s1 + t*(f.s2-f.s1), nil
+}
+
+// MaxRelativeError scans the fit against the exact computation over
+// [gLo, gHi] at n points and returns the worst relative error — the
+// fidelity cost of the 1983 approximation.
+func (f *TwoPointFit) MaxRelativeError(gLo, gHi float64, n int) (float64, error) {
+	if gLo <= 0 || gHi <= gLo || n < 2 {
+		return 0, fmt.Errorf("sched: invalid scan range")
+	}
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		g := gLo * math.Pow(gHi/gLo, float64(i)/float64(n-1))
+		fit, err := f.MeanSlots(g)
+		if err != nil {
+			return 0, err
+		}
+		exact := Analyze(g).TotalSlots()
+		if exact > 0 {
+			if rel := math.Abs(fit-exact) / exact; rel > worst {
+				worst = rel
+			}
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders the panel's loss curves as an ASCII plot — the closest a
+// terminal gets to the paper's figure 7.  The y axis is logarithmic
+// (loss spans decades); series markers: C = controlled (analytic),
+// F = FCFS, L = LCFS, * = simulated controlled.  Markers overwrite in
+// that order, so a '*' on top of the C curve is the corroboration the
+// paper's figure shows.
+func (p Panel) Chart(width, height int) string {
+	if width < 20 {
+		width = 60
+	}
+	if height < 8 {
+		height = 16
+	}
+	if len(p.Points) == 0 {
+		return ""
+	}
+	// Y range: log10 of loss, floored to keep zeros plottable.
+	const floor = 1e-4
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	consider := func(v float64) {
+		if math.IsNaN(v) {
+			return
+		}
+		if v < floor {
+			v = floor
+		}
+		l := math.Log10(v)
+		if l < yMin {
+			yMin = l
+		}
+		if l > yMax {
+			yMax = l
+		}
+	}
+	for _, pt := range p.Points {
+		consider(pt.Controlled)
+		consider(pt.FCFS)
+		consider(pt.LCFS)
+		consider(pt.SimControlled)
+	}
+	if math.IsInf(yMin, 1) {
+		return ""
+	}
+	if yMax-yMin < 0.5 {
+		yMax = yMin + 0.5
+	}
+	xMin, xMax := p.Points[0].KOverM, p.Points[len(p.Points)-1].KOverM
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(kOverM, v float64, marker byte) {
+		if math.IsNaN(v) {
+			return
+		}
+		if v < floor {
+			v = floor
+		}
+		x := int(float64(width-1) * (kOverM - xMin) / (xMax - xMin))
+		// Row 0 is the top of the chart (largest loss).
+		r := height - 1 - int(float64(height-1)*(math.Log10(v)-yMin)/(yMax-yMin))
+		if r < 0 || r >= height || x < 0 || x >= width {
+			return
+		}
+		grid[r][x] = marker
+	}
+	for _, pt := range p.Points {
+		plot(pt.KOverM, pt.FCFS, 'F')
+		plot(pt.KOverM, pt.LCFS, 'L')
+		plot(pt.KOverM, pt.Controlled, 'C')
+		plot(pt.KOverM, pt.SimControlled, '*')
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "loss (log scale) vs K/M — rho'=%.2f M=%g   [C analytic, * sim, F fcfs, L lcfs]\n",
+		p.Spec.RhoPrime, p.Spec.M)
+	for r := 0; r < height; r++ {
+		// Left axis label: the log10 value at this row.
+		val := yMax - (yMax-yMin)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%8.4f |%s|\n", math.Pow(10, val), grid[r])
+	}
+	fmt.Fprintf(&b, "%8s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  K/M = %.2g%s%.2g\n", "", xMin,
+		strings.Repeat(" ", max(1, width-12)), xMax)
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"windowctl/internal/queueing"
+	"windowctl/internal/window"
+)
+
+// PanelSpec identifies one panel of the paper's figure 7: a (ρ′, M) pair
+// and a grid of time constraints.
+type PanelSpec struct {
+	// RhoPrime is the normalized offered load λ′·M·τ.
+	RhoPrime float64
+	// M is the message length in slots.
+	M float64
+	// Tau is the slot time; 0 means 1 (the natural unit).
+	Tau float64
+	// KOverM lists the constraints in units of the message time M·τ;
+	// empty means the standard grid {0.5, 1, 1.5, 2, 3, 4, 6, 8}.
+	KOverM []float64
+}
+
+// DefaultKOverM is the standard constraint grid of the harness.
+var DefaultKOverM = []float64{0.5, 1, 1.5, 2, 3, 4, 6, 8}
+
+// AllPanels returns the six panels of figure 7:
+// ρ′ ∈ {.25, .50, .75} × M ∈ {25, 100}.
+func AllPanels() []PanelSpec {
+	var out []PanelSpec
+	for _, rp := range []float64{0.25, 0.50, 0.75} {
+		for _, m := range []float64{25, 100} {
+			out = append(out, PanelSpec{RhoPrime: rp, M: m})
+		}
+	}
+	return out
+}
+
+func (p PanelSpec) withDefaults() PanelSpec {
+	if p.Tau == 0 {
+		p.Tau = 1
+	}
+	if len(p.KOverM) == 0 {
+		p.KOverM = append([]float64(nil), DefaultKOverM...)
+	}
+	return p
+}
+
+// Point is one constraint value of a panel with every curve evaluated.
+type Point struct {
+	// KOverM and K give the constraint in message times and absolute time.
+	KOverM, K float64
+	// Controlled is the analytic loss of the controlled protocol (eq 4.7).
+	Controlled float64
+	// FCFS and LCFS are the analytic baseline losses; NaN if the baseline
+	// queue is unstable at this load.
+	FCFS, LCFS float64
+	// SimControlled is the simulated loss of the controlled protocol
+	// (NaN when simulation was disabled).
+	SimControlled float64
+	// SimLo and SimHi bound SimControlled at 95% confidence.
+	SimLo, SimHi float64
+	// SimFCFS and SimLCFS are simulated baseline losses (NaN when
+	// disabled).
+	SimFCFS, SimLCFS float64
+}
+
+// Panel is a fully evaluated figure-7 panel.
+type Panel struct {
+	Spec   PanelSpec
+	Points []Point
+}
+
+// SimOptions controls the simulation side of the harness.
+type SimOptions struct {
+	// Disable skips all simulation (analytic curves only).
+	Disable bool
+	// Baselines additionally simulates the FCFS and LCFS protocols.
+	Baselines bool
+	// EndTime and Warmup configure each run; zero values choose horizons
+	// long enough for ~1e5 offered messages.
+	EndTime, Warmup float64
+	// Seed drives the runs.
+	Seed uint64
+}
+
+// Figure7Panel evaluates one panel: analytic curves from the queueing
+// models, simulation points from the global-view simulator.
+func Figure7Panel(spec PanelSpec, opt SimOptions) (Panel, error) {
+	spec = spec.withDefaults()
+	model := queueing.ProtocolModel{Tau: spec.Tau, M: spec.M, RhoPrime: spec.RhoPrime}
+	lambda := model.Lambda()
+	gStar := queueing.OptimalWindowContent()
+
+	endTime := opt.EndTime
+	if endTime == 0 {
+		endTime = 1e5 / lambda // ~1e5 offered messages
+	}
+	warmup := opt.Warmup
+	if warmup == 0 {
+		warmup = endTime / 20
+	}
+
+	panel := Panel{Spec: spec}
+	for _, km := range spec.KOverM {
+		k := km * spec.M * spec.Tau
+		pt := Point{KOverM: km, K: k,
+			SimControlled: math.NaN(), SimLo: math.NaN(), SimHi: math.NaN(),
+			SimFCFS: math.NaN(), SimLCFS: math.NaN()}
+
+		res, err := model.ControlledLoss(k)
+		if err != nil {
+			return Panel{}, fmt.Errorf("controlled loss at K=%v: %w", k, err)
+		}
+		pt.Controlled = res.Loss
+		if f, err := model.FCFSLoss(k); err == nil {
+			pt.FCFS = f
+		} else {
+			pt.FCFS = math.NaN()
+		}
+		if l, err := model.LCFSLoss(k); err == nil {
+			pt.LCFS = l
+		} else {
+			pt.LCFS = math.NaN()
+		}
+
+		if !opt.Disable {
+			cfg := Config{
+				Policy: window.Controlled{Length: window.FixedG(gStar)},
+				Tau:    spec.Tau, M: spec.M, Lambda: lambda, K: k,
+				EndTime: endTime, Warmup: warmup,
+				Seed: opt.Seed ^ uint64(km*1024) ^ uint64(spec.M),
+			}
+			rep, err := RunGlobal(cfg)
+			if err != nil {
+				return Panel{}, fmt.Errorf("controlled simulation at K=%v: %w", k, err)
+			}
+			pt.SimControlled = rep.Loss()
+			pt.SimLo, pt.SimHi = rep.LossCI(0.95)
+
+			if opt.Baselines {
+				fcfg := cfg
+				fcfg.Policy = window.FCFS{Length: window.FixedG(gStar)}
+				if frep, err := RunGlobal(fcfg); err == nil {
+					pt.SimFCFS = frep.Loss()
+				}
+				lcfg := cfg
+				lcfg.Policy = window.LCFS{Length: window.FixedG(gStar)}
+				if lrep, err := RunGlobal(lcfg); err == nil {
+					pt.SimLCFS = lrep.Loss()
+				}
+			}
+		}
+		panel.Points = append(panel.Points, pt)
+	}
+	return panel, nil
+}
+
+// Format renders the panel as an aligned text table, the library's
+// counterpart of one figure-7 plot.
+func (p Panel) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7 panel: rho'=%.2f  M=%g  (loss fraction vs. constraint K)\n",
+		p.Spec.RhoPrime, p.Spec.M)
+	fmt.Fprintf(&b, "%8s %10s %12s %12s %12s %14s %12s %12s\n",
+		"K/M", "K", "controlled", "fcfs", "lcfs", "sim(ctrl)", "sim(fcfs)", "sim(lcfs)")
+	for _, pt := range p.Points {
+		fmt.Fprintf(&b, "%8.2f %10.1f %12.5f %12s %12s %14s %12s %12s\n",
+			pt.KOverM, pt.K, pt.Controlled,
+			fmtLoss(pt.FCFS), fmtLoss(pt.LCFS),
+			fmtSim(pt.SimControlled, pt.SimLo, pt.SimHi),
+			fmtLoss(pt.SimFCFS), fmtLoss(pt.SimLCFS))
+	}
+	return b.String()
+}
+
+func fmtLoss(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.5f", v)
+}
+
+func fmtSim(v, lo, hi float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.4f±%.4f", v, (hi-lo)/2)
+}

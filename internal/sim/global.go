@@ -1,0 +1,321 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"windowctl/internal/dist"
+	"windowctl/internal/rngutil"
+	"windowctl/internal/stats"
+	"windowctl/internal/window"
+)
+
+// Config parameterizes a simulation run in the paper's units.
+type Config struct {
+	// Policy is the window control policy under test; required.
+	Policy window.Policy
+	// Tau is the slot time (propagation delay); must be positive.
+	Tau float64
+	// M is the message length in slots; transmission takes M·τ.
+	M float64
+	// Lambda is the total network arrival rate λ′ (all messages).
+	Lambda float64
+	// K is the waiting-time constraint; must be positive (may be +Inf
+	// for unconstrained runs measuring delay only).
+	K float64
+	// EndTime is the simulated horizon; must exceed Warmup.
+	EndTime float64
+	// Warmup excludes initial transient arrivals from the statistics.
+	Warmup float64
+	// Seed drives all randomness.
+	Seed uint64
+	// MaxBacklog aborts the run if the pending count exceeds it
+	// (protection against simulating a hopelessly unstable baseline);
+	// 0 means 1<<20.
+	MaxBacklog int
+	// DisableFastForward forces probe-by-probe execution of idle periods.
+	// The fast-forward is exact (the tests verify run-for-run equality),
+	// so this exists only for that verification and for debugging.
+	DisableFastForward bool
+	// TxLengths, when non-nil, draws each message's transmission time
+	// from this law instead of the constant M·τ (Theorem 1 only asks
+	// that lengths be identically distributed).  Its mean should equal
+	// M·τ so RhoPrime keeps its meaning.  Supported by the global
+	// simulator only.
+	TxLengths dist.Distribution
+	// RateEstimator, when non-nil, replaces the known arrival rate in
+	// the policy's view with this protocol-side estimate, updated from
+	// each completed windowing process — adaptive operation for networks
+	// where λ′ is unknown.  Supported by the global simulator only.
+	RateEstimator *window.RateEstimator
+}
+
+func (c Config) validate() error {
+	if c.Policy == nil {
+		return fmt.Errorf("sim: missing policy")
+	}
+	if err := window.Validate(c.Policy); err != nil {
+		return err
+	}
+	if c.Tau <= 0 || c.M <= 0 {
+		return fmt.Errorf("sim: need positive Tau and M (got %v, %v)", c.Tau, c.M)
+	}
+	if c.Lambda <= 0 {
+		return fmt.Errorf("sim: need positive Lambda (got %v)", c.Lambda)
+	}
+	if c.K <= 0 || math.IsNaN(c.K) {
+		return fmt.Errorf("sim: need positive K (got %v)", c.K)
+	}
+	if c.EndTime <= c.Warmup || c.Warmup < 0 {
+		return fmt.Errorf("sim: need 0 <= Warmup < EndTime (got %v, %v)", c.Warmup, c.EndTime)
+	}
+	return nil
+}
+
+// RhoPrime returns the normalized offered load λ′·M·τ of the
+// configuration.
+func (c Config) RhoPrime() float64 { return c.Lambda * c.M * c.Tau }
+
+// pendingMsg is one untransmitted message in the global view.
+type pendingMsg struct {
+	arrival  float64
+	measured bool
+}
+
+// globalState is the single-view protocol simulation: because every
+// station's state machine is a deterministic function of the common
+// feedback, the network evolves exactly like one queue of arrival times
+// plus one Resolver — this simulator exploits that for speed, and the
+// multi-station simulator verifies the equivalence.
+type globalState struct {
+	cfg     Config
+	rng     *rngutil.Stream
+	tracker *window.Tracker
+	now     float64
+	pending []pendingMsg // ascending arrival time
+	nextArr float64
+	rep     Report
+
+	// lastTxEnd is the end time of the most recent transmission; the
+	// scheduling time of the next transmitted message runs from
+	// max(lastTxEnd, its own arrival) to the start of its transmission,
+	// exactly §4's definition of the scheduling-time service component.
+	lastTxEnd float64
+}
+
+// RunGlobal simulates the protocol with the global-view engine and
+// returns the measured report.
+func RunGlobal(cfg Config) (Report, error) {
+	if err := cfg.validate(); err != nil {
+		return Report{}, err
+	}
+	g := &globalState{
+		cfg:     cfg,
+		rng:     rngutil.New(cfg.Seed),
+		tracker: window.NewTracker(0, cfg.K, cfg.Policy.Discards()),
+	}
+	g.rep.WaitHist = stats.NewHistogram(cfg.Tau, int(cfg.K/cfg.Tau)+64)
+	g.nextArr = g.rng.Exp(cfg.Lambda)
+	maxBacklog := cfg.MaxBacklog
+	if maxBacklog <= 0 {
+		maxBacklog = 1 << 20
+	}
+
+	for g.now < cfg.EndTime {
+		g.fill(g.now)
+		if len(g.pending) > maxBacklog {
+			return g.rep, fmt.Errorf("sim: backlog exceeded %d at t=%v (unstable configuration)", maxBacklog, g.now)
+		}
+		if err := g.oneProcess(); err != nil {
+			return g.rep, err
+		}
+	}
+	g.finish()
+	return g.rep, nil
+}
+
+// fill materializes arrivals with time <= t.
+func (g *globalState) fill(t float64) {
+	for g.nextArr <= t {
+		g.pending = append(g.pending, pendingMsg{
+			arrival:  g.nextArr,
+			measured: g.nextArr >= g.cfg.Warmup && g.nextArr < g.cfg.EndTime,
+		})
+		if g.nextArr >= g.cfg.Warmup {
+			g.rep.Offered++
+		}
+		g.nextArr += g.rng.Exp(g.cfg.Lambda)
+	}
+	if len(g.pending) > g.rep.MaxBacklog {
+		g.rep.MaxBacklog = len(g.pending)
+	}
+}
+
+// countIn is the content oracle over the pending set.
+func (g *globalState) countIn(w window.Window) int {
+	lo := sort.Search(len(g.pending), func(i int) bool { return g.pending[i].arrival >= w.Start })
+	hi := sort.Search(len(g.pending), func(i int) bool { return g.pending[i].arrival >= w.End })
+	return hi - lo
+}
+
+// oneProcess runs a single windowing process: sender discard at the
+// decision epoch, window selection, resolution, time accounting and
+// message bookkeeping.
+func (g *globalState) oneProcess() error {
+	// Element (4): discard messages already older than K.
+	if g.cfg.Policy.Discards() {
+		horizon := g.tracker.Horizon(g.now)
+		cut := sort.Search(len(g.pending), func(i int) bool { return g.pending[i].arrival >= horizon })
+		for _, m := range g.pending[:cut] {
+			if m.measured {
+				g.rep.LostSender++
+			}
+		}
+		if cut > 0 {
+			g.pending = append(g.pending[:0], g.pending[cut:]...)
+		}
+	}
+
+	lambdaView := g.cfg.Lambda
+	if g.cfg.RateEstimator != nil {
+		lambdaView = g.cfg.RateEstimator.Rate()
+	}
+	view := g.tracker.View(g.now, g.cfg.Tau, lambdaView)
+	if view.TNewest-view.TPast <= 0 {
+		// Nothing unexamined (start-up corner): let time pass one slot.
+		g.now += g.cfg.Tau
+		return nil
+	}
+	if g.cfg.RateEstimator == nil && g.fastForwardIdle(view) {
+		// (With an estimator, idle probes carry information — they must
+		// be observed one by one, so the fast path is skipped.)
+		return nil
+	}
+	rep, err := window.RunProcess(g.cfg.Policy, view, g.countIn)
+	if err != nil {
+		return err
+	}
+	if g.cfg.RateEstimator != nil {
+		examined := 0.0
+		for _, w := range rep.Examined {
+			examined += w.Len()
+		}
+		found := 0
+		if rep.Success {
+			found = 1
+		}
+		g.cfg.RateEstimator.Observe(found, examined)
+	}
+
+	// Advance the clock step by step; record the success start time.
+	successStart := math.NaN()
+	txTime := g.cfg.M * g.cfg.Tau
+	if g.cfg.TxLengths != nil && rep.Success {
+		txTime = g.cfg.TxLengths.Sample(g.rng)
+	}
+	for _, s := range rep.Steps {
+		if s.Outcome == window.Success {
+			successStart = g.now
+			g.now += txTime
+		} else {
+			g.now += g.cfg.Tau
+			if s.Outcome == window.Idle {
+				g.rep.IdleSlots++
+			} else {
+				g.rep.CollisionSlots++
+			}
+		}
+	}
+	g.tracker.Commit(g.now, rep.Examined)
+
+	if !rep.Success {
+		return nil
+	}
+
+	// Locate and remove the transmitted message.
+	lo := sort.Search(len(g.pending), func(i int) bool { return g.pending[i].arrival >= rep.SuccessWindow.Start })
+	if lo >= len(g.pending) || !rep.SuccessWindow.Contains(g.pending[lo].arrival) {
+		return fmt.Errorf("sim: success window %v holds no pending message", rep.SuccessWindow)
+	}
+	if lo+1 < len(g.pending) && rep.SuccessWindow.Contains(g.pending[lo+1].arrival) {
+		return fmt.Errorf("sim: success window %v holds more than one message", rep.SuccessWindow)
+	}
+	msg := g.pending[lo]
+	g.pending = append(g.pending[:lo], g.pending[lo+1:]...)
+	g.rep.Transmissions++
+
+	trueWait := successStart - msg.arrival
+	if msg.measured {
+		g.rep.TrueWait.Add(trueWait)
+		g.rep.WaitHist.Add(trueWait)
+		schedStart := math.Max(g.lastTxEnd, msg.arrival)
+		g.rep.SchedulingSlots.Add((successStart - schedStart) / g.cfg.Tau)
+		if trueWait > g.cfg.K {
+			g.rep.LostLate++
+		} else {
+			g.rep.AcceptedInTime++
+		}
+	}
+	g.lastTxEnd = g.now
+	return nil
+}
+
+// fastForwardIdle bulk-skips idle probes.  When no messages are pending
+// and the policy's next initial window covers the entire unexamined span,
+// the probe is certainly idle and examines everything up to now; the
+// protocol then repeats one such whole-span probe per slot until the next
+// arrival.  Skipping them in one step is *exact* — the post-skip protocol
+// state (cleared region, clock, idle-slot count) equals what probe-by-
+// probe execution produces — and it is what makes long lightly-loaded
+// runs (e.g. the M = 100 figure panels) affordable.  Policies with
+// per-decision randomness never take this path: their windows must be
+// drawn one decision at a time to keep the common random sequence
+// aligned.
+func (g *globalState) fastForwardIdle(view window.View) bool {
+	if g.cfg.DisableFastForward || len(g.pending) != 0 {
+		return false
+	}
+	if _, random := g.cfg.Policy.(window.ForkablePolicy); random {
+		return false
+	}
+	w := g.cfg.Policy.InitialWindow(view)
+	if w.Start > view.TPast || w.End < view.TNewest {
+		return false // window would not clear the whole span
+	}
+	// One idle probe clears the span; any further full slots before the
+	// next arrival are idle single-slot probes.  The skip also stops at
+	// EndTime — probe-by-probe execution never runs probes beyond it.
+	skip := 1 + int(math.Max(0, (g.nextArr-g.now-g.cfg.Tau)/g.cfg.Tau))
+	if limit := int(math.Ceil((g.cfg.EndTime - g.now) / g.cfg.Tau)); skip > limit {
+		skip = limit
+	}
+	if skip < 1 {
+		skip = 1
+	}
+	g.rep.IdleSlots += int64(skip)
+	g.now += float64(skip) * g.cfg.Tau
+	g.tracker.Commit(g.now, []window.Window{{Start: view.TPast, End: g.now - g.cfg.Tau}})
+	return true
+}
+
+// finish classifies the messages still pending at the end of the run and
+// computes utilization.
+func (g *globalState) finish() {
+	for _, m := range g.pending {
+		if !m.measured {
+			continue
+		}
+		if g.cfg.EndTime-m.arrival > g.cfg.K {
+			g.rep.LostPending++
+		} else {
+			g.rep.Censored++
+		}
+	}
+	g.rep.EndBacklog = len(g.pending)
+	busy := float64(g.rep.Transmissions) * g.cfg.M * g.cfg.Tau
+	wasted := float64(g.rep.IdleSlots+g.rep.CollisionSlots) * g.cfg.Tau
+	if busy+wasted > 0 {
+		g.rep.Utilization = busy / (busy + wasted)
+	}
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"windowctl/internal/window"
+)
+
+func heteroBase(seed uint64) HeterogeneousConfig {
+	return HeterogeneousConfig{
+		Config: Config{
+			Policy: window.Controlled{Length: window.FixedG(gStar)},
+			Tau:    1, M: 25, Lambda: 0.75 / 25, K: 50,
+			EndTime: 4e5, Warmup: 3e4, Seed: seed,
+		},
+	}
+}
+
+func TestHeterogeneousIdentityMatchesMultiStation(t *testing.T) {
+	cfg := heteroBase(61)
+	cfg.Transforms = make([]Transform, 8) // nil entries = identity
+	hrep, err := RunHeterogeneous(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrep, err := RunMultiStation(MultiConfig{Config: cfg.Config, Stations: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hrep.Loss()-mrep.Loss()) > 0.02 {
+		t.Fatalf("identity-transform loss %v vs multistation %v", hrep.Loss(), mrep.Loss())
+	}
+	if hrep.Offered != hrep.Decided()+hrep.Censored {
+		t.Fatal("accounting identity broken")
+	}
+	// Per-station reports partition the totals.
+	var acc, lost int64
+	for _, sr := range hrep.Stations {
+		acc += sr.AcceptedInTime
+		lost += sr.LostSender + sr.LostLate + sr.LostPending
+	}
+	if acc != hrep.AcceptedInTime || lost != hrep.Lost() {
+		t.Fatalf("per-station partition broken: %d/%d vs %d/%d",
+			acc, lost, hrep.AcceptedInTime, hrep.Lost())
+	}
+}
+
+func TestPriorityStretchFavorsHighPriority(t *testing.T) {
+	// Station 0 stretches its membership window (higher priority);
+	// station 1 shrinks it.  Theorem-5 extension: station 0 should see
+	// clearly lower loss than station 1.
+	cfg := heteroBase(62)
+	cfg.Transforms = []Transform{
+		PriorityStretch(1.6, 1),
+		PriorityStretch(0.5, 1),
+		nil, nil,
+	}
+	rep, err := RunHeterogeneous(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, lo := rep.Stations[0], rep.Stations[1]
+	if hi.Offered < 500 || lo.Offered < 500 {
+		t.Fatalf("too few messages: %d, %d", hi.Offered, lo.Offered)
+	}
+	if hi.Loss() >= lo.Loss() {
+		t.Fatalf("priority inversion: stretched station loss %.4f vs shrunk %.4f",
+			hi.Loss(), lo.Loss())
+	}
+	// Note: the *conditional* mean wait of accepted messages is NOT a
+	// valid priority metric here — the shrunk station only gets its
+	// youngest messages through (survivorship), so its accepted waits
+	// look short even though it loses far more.  Loss is the honest
+	// measure, as in the paper.
+}
+
+func TestClockSkewDegradesLoss(t *testing.T) {
+	// A skewed station misses probes for its own messages and answers
+	// others spuriously; its loss must exceed the synchronized stations'.
+	cfg := heteroBase(63)
+	cfg.Transforms = []Transform{
+		ClockSkew(3.0, 0), // badly skewed clock
+		nil, nil, nil,
+	}
+	rep, err := RunHeterogeneous(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed := rep.Stations[0].Loss()
+	syncLoss := 0.0
+	var syncDecided int64
+	for _, sr := range rep.Stations[1:] {
+		syncLoss += float64(sr.LostSender + sr.LostLate + sr.LostPending)
+		syncDecided += sr.Offered
+	}
+	syncLoss /= float64(syncDecided)
+	if skewed <= syncLoss {
+		t.Fatalf("skewed station loss %.4f not worse than synchronized %.4f", skewed, syncLoss)
+	}
+}
+
+func TestClockSkewGuardBandTradeoff(t *testing.T) {
+	// With a *small* skew, a guard band can only be a trade: it avoids
+	// wrong-slot answers at the cost of shrinking eligibility.  Verify it
+	// runs and produces sane accounting; the direction of the trade is
+	// workload-dependent, so only sanity is asserted.
+	cfg := heteroBase(64)
+	cfg.Transforms = []Transform{ClockSkew(0.4, 0.5), nil, nil, nil}
+	rep, err := RunHeterogeneous(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Transmissions == 0 {
+		t.Fatal("guarded run transmitted nothing")
+	}
+	if rep.Offered != rep.Decided()+rep.Censored {
+		t.Fatal("accounting identity broken")
+	}
+}
+
+func TestHeterogeneousValidation(t *testing.T) {
+	cfg := heteroBase(65)
+	if _, err := RunHeterogeneous(cfg); err == nil {
+		t.Fatal("no transforms accepted")
+	}
+	for _, fn := range []func(){
+		func() { PriorityStretch(0, 1) },
+		func() { PriorityStretch(2, 0) },
+		func() { ClockSkew(0, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"windowctl/internal/channel"
+	"windowctl/internal/des"
+	"windowctl/internal/rngutil"
+	"windowctl/internal/station"
+	"windowctl/internal/stats"
+	"windowctl/internal/window"
+)
+
+// MultiConfig parameterizes the full multi-station simulation.
+type MultiConfig struct {
+	Config
+	// Stations is the number of senders; the total rate Lambda is split
+	// evenly among them.  Must be >= 1.
+	Stations int
+	// VerifyLockstep asserts, every slot, that all stations' protocol
+	// state machines agree on the enabled window — the distributed-
+	// consistency property the protocol depends on.  Costs O(N) per slot.
+	VerifyLockstep bool
+	// Arrivals, when non-nil, supplies each station's arrival process
+	// (e.g. an on/off talkspurt source) instead of the default Poisson
+	// split of Lambda.  Config.Lambda must still give the aggregate mean
+	// rate — it parameterizes the window-length rule.
+	Arrivals func(station int) station.ArrivalProcess
+}
+
+// multiState is the distributed simulation: every station runs its own
+// Tracker and Resolver fed only by common channel feedback, exactly as the
+// protocol prescribes.  A station holding two or more pending messages
+// inside the enabled window jams the slot (it cannot transmit both), so
+// channel feedback reflects the network-wide *message* count in the
+// window, matching the paper's model in which message arrivals, not
+// stations, are the windowed entities.
+type multiState struct {
+	cfg       MultiConfig
+	kernel    *des.Simulator
+	ch        *channel.Channel
+	stations  []*station.Station
+	trackers  []*window.Tracker
+	resolvers []*window.Resolver
+	policies  []window.Policy // per-station replica (common randomness)
+	rep       Report
+	lastTxEnd float64
+	runErr    error
+}
+
+// RunMultiStation simulates the distributed protocol and returns the
+// measured report.  Its results are statistically equivalent to RunGlobal
+// (the tests verify this); it exists to exercise — and validate — the
+// distributed operation over the channel model.
+func RunMultiStation(cfg MultiConfig) (Report, error) {
+	if err := cfg.validate(); err != nil {
+		return Report{}, err
+	}
+	if cfg.Stations < 1 {
+		return Report{}, fmt.Errorf("sim: need >= 1 station, got %d", cfg.Stations)
+	}
+	m := &multiState{
+		cfg:    cfg,
+		kernel: des.New(),
+		ch:     channel.New(cfg.Tau, cfg.M*cfg.Tau),
+	}
+	m.rep.WaitHist = stats.NewHistogram(cfg.Tau, int(cfg.K/cfg.Tau)+64)
+	root := rngutil.New(cfg.Seed)
+	var nextID int64
+	perStation := cfg.Lambda / float64(cfg.Stations)
+	for i := 0; i < cfg.Stations; i++ {
+		var proc station.ArrivalProcess = station.Poisson{Rate: perStation}
+		if cfg.Arrivals != nil {
+			proc = cfg.Arrivals(i)
+			if proc == nil {
+				return Report{}, fmt.Errorf("sim: Arrivals returned nil for station %d", i)
+			}
+		}
+		m.stations = append(m.stations, station.New(i, proc, root.Spawn(), &nextID))
+		m.trackers = append(m.trackers, window.NewTracker(0, cfg.K, cfg.Policy.Discards()))
+		// A policy carrying common randomness is replicated per station:
+		// each replica makes the same draw sequence, as real stations
+		// seeded with one agreed value would.
+		if f, ok := cfg.Policy.(window.ForkablePolicy); ok {
+			m.policies = append(m.policies, f.Fork())
+		} else {
+			m.policies = append(m.policies, cfg.Policy)
+		}
+	}
+	m.resolvers = make([]*window.Resolver, cfg.Stations)
+
+	m.kernel.Schedule(0, 0, m.slot)
+	m.kernel.RunUntil(cfg.EndTime)
+	if m.runErr != nil {
+		return m.rep, m.runErr
+	}
+	m.finish()
+	return m.rep, nil
+}
+
+func (m *multiState) fail(err error) {
+	m.runErr = err
+	m.kernel.Stop()
+}
+
+// slot executes one protocol slot: decision epoch if needed, one probe,
+// feedback distribution, and scheduling of the next slot.
+func (m *multiState) slot() {
+	now := m.kernel.Now()
+	if now >= m.cfg.EndTime {
+		return
+	}
+	for _, s := range m.stations {
+		s.GenerateUntil(now)
+	}
+	backlog := 0
+	for _, s := range m.stations {
+		backlog += s.QueueLen()
+	}
+	if backlog > m.rep.MaxBacklog {
+		m.rep.MaxBacklog = backlog
+	}
+	maxBacklog := m.cfg.MaxBacklog
+	if maxBacklog <= 0 {
+		maxBacklog = 1 << 20
+	}
+	if backlog > maxBacklog {
+		m.fail(fmt.Errorf("sim: backlog exceeded %d at t=%v", maxBacklog, now))
+		return
+	}
+
+	if m.resolvers[0] == nil {
+		// Decision epoch at every station.
+		if !m.beginProcess(now) {
+			// Nothing unexamined yet: idle for one slot.
+			m.kernel.ScheduleAfter(m.cfg.Tau, 0, m.slot)
+			return
+		}
+	}
+
+	enabled := m.resolvers[0].Enabled()
+	if m.cfg.VerifyLockstep {
+		for i, r := range m.resolvers {
+			if r.Enabled() != enabled {
+				m.fail(fmt.Errorf("sim: station %d enabled %v, station 0 enabled %v — lockstep broken",
+					i, r.Enabled(), enabled))
+				return
+			}
+		}
+	}
+
+	// Stations transmit; multiple messages at one station jam the slot.
+	totalMsgs := 0
+	txStation := -1
+	for i, s := range m.stations {
+		c := s.CountIn(enabled)
+		if c > 0 {
+			totalMsgs += c
+			txStation = i
+		}
+	}
+	fb, dur := m.ch.ResolveSlot(totalMsgs)
+
+	for _, r := range m.resolvers {
+		r.OnFeedback(fb)
+	}
+
+	if fb == window.Success {
+		msg, ok := m.stations[txStation].PopOldestIn(enabled)
+		if !ok {
+			m.fail(fmt.Errorf("sim: station %d vanished message in %v", txStation, enabled))
+			return
+		}
+		m.recordTransmission(msg, now, now+dur)
+	}
+
+	if m.resolvers[0].Done() {
+		examined := m.resolvers[0].Examined()
+		end := now + dur
+		for i, tr := range m.trackers {
+			tr.Commit(end, examined)
+			m.resolvers[i] = nil
+		}
+	}
+	m.kernel.ScheduleAfter(dur, 0, m.slot)
+}
+
+// beginProcess performs the common decision epoch: sender discard, view
+// construction and resolver creation at every station.  It returns false
+// when there is nothing to examine yet.
+func (m *multiState) beginProcess(now float64) bool {
+	for i, s := range m.stations {
+		if m.cfg.Policy.Discards() {
+			horizon := m.trackers[i].Horizon(now)
+			for _, d := range s.DiscardArrivedBefore(horizon) {
+				if m.measured(d.Arrival) {
+					m.rep.LostSender++
+				}
+			}
+		}
+	}
+	view := m.trackers[0].View(now, m.cfg.Tau, m.cfg.Lambda)
+	if view.TNewest-view.TPast <= 0 {
+		return false
+	}
+	for i := range m.stations {
+		v := m.trackers[i].View(now, m.cfg.Tau, m.cfg.Lambda)
+		r, err := window.NewResolver(m.policies[i], v)
+		if err != nil {
+			m.fail(fmt.Errorf("sim: station %d resolver: %w", i, err))
+			return false
+		}
+		m.resolvers[i] = r
+	}
+	return true
+}
+
+func (m *multiState) measured(arrival float64) bool {
+	return arrival >= m.cfg.Warmup && arrival < m.cfg.EndTime
+}
+
+func (m *multiState) recordTransmission(msg station.Message, successStart, txEnd float64) {
+	m.rep.Transmissions++
+	trueWait := successStart - msg.Arrival
+	if m.measured(msg.Arrival) {
+		m.rep.TrueWait.Add(trueWait)
+		m.rep.WaitHist.Add(trueWait)
+		schedStart := math.Max(m.lastTxEnd, msg.Arrival)
+		m.rep.SchedulingSlots.Add((successStart - schedStart) / m.cfg.Tau)
+		if trueWait > m.cfg.K {
+			m.rep.LostLate++
+		} else {
+			m.rep.AcceptedInTime++
+		}
+	}
+	m.lastTxEnd = txEnd
+}
+
+func (m *multiState) finish() {
+	end := m.cfg.EndTime
+	all := window.Window{Start: 0, End: end + 1}
+	for _, s := range m.stations {
+		for {
+			msg, ok := s.PopOldestIn(all)
+			if !ok {
+				break
+			}
+			if !m.measured(msg.Arrival) {
+				continue
+			}
+			if end-msg.Arrival > m.cfg.K {
+				m.rep.LostPending++
+			} else {
+				m.rep.Censored++
+			}
+			m.rep.EndBacklog++
+		}
+	}
+	st := m.ch.Stats()
+	m.rep.IdleSlots = st.IdleSlots
+	m.rep.CollisionSlots = st.CollisionSlots
+	m.rep.Utilization = st.Utilization()
+	// Every measured message lands in exactly one outcome bucket, so the
+	// offered count is their sum (the report tests verify the identity
+	// Offered = Decided + Censored on the global simulator, whose offered
+	// count is taken at arrival time instead).
+	m.rep.Offered = m.rep.Decided() + m.rep.Censored
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"windowctl/internal/rngutil"
+	"windowctl/internal/window"
+)
+
+// runLemmaProbe drives the protocol over random arrivals with the given
+// policy, checking at every decision epoch that each pending message
+// satisfies Lemma 1 (pseudo delay <= actual delay), and — when exact is
+// true (the Theorem-1 policy) — Lemma 2 (pseudo delay == actual delay).
+func runLemmaProbe(t *testing.T, pol window.Policy, exact bool, seed uint64) {
+	t.Helper()
+	r := rngutil.New(seed)
+	lambda := 0.03
+	tracker := window.NewTracker(0, math.Inf(1), pol.Discards())
+	now := 0.0
+	nextArr := r.Exp(lambda)
+	var pending []float64
+	const txTime = 25.0
+	for processes := 0; processes < 400; processes++ {
+		for nextArr <= now {
+			pending = append(pending, nextArr)
+			nextArr += r.Exp(lambda)
+		}
+		sort.Float64s(pending)
+		// Lemma checks at the decision epoch.
+		for _, a := range pending {
+			pd := tracker.PseudoDelay(now, a)
+			actual := now - a
+			if pd > actual+1e-9 {
+				t.Fatalf("Lemma 1 violated: pseudo %v > actual %v", pd, actual)
+			}
+			if exact && math.Abs(pd-actual) > 1e-9 {
+				t.Fatalf("Lemma 2 violated under Theorem-1 policy: pseudo %v != actual %v", pd, actual)
+			}
+		}
+		view := tracker.View(now, 1, lambda)
+		if view.TNewest-view.TPast <= 0 {
+			now++
+			continue
+		}
+		rep, err := window.RunProcess(pol, view, func(w window.Window) int {
+			lo := sort.SearchFloat64s(pending, w.Start)
+			hi := sort.SearchFloat64s(pending, w.End)
+			return hi - lo
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range rep.Steps {
+			if s.Outcome == window.Success {
+				now += txTime
+			} else {
+				now++
+			}
+		}
+		tracker.Commit(now, rep.Examined)
+		if rep.Success {
+			lo := sort.SearchFloat64s(pending, rep.SuccessWindow.Start)
+			pending = append(pending[:lo], pending[lo+1:]...)
+		}
+	}
+}
+
+// TestLemma2PseudoEqualsActualUnderTheorem1: the controlled (Theorem-1)
+// policy leaves no gaps older than any live message, so pseudo and actual
+// delay coincide — the property that lets the paper collapse the state
+// space to a single number.
+func TestLemma2PseudoEqualsActualUnderTheorem1(t *testing.T) {
+	runLemmaProbe(t, window.Controlled{Length: window.FixedG(gStar)}, true, 101)
+	runLemmaProbe(t, window.FCFS{Length: window.FixedG(gStar)}, true, 102)
+}
+
+// TestLemma1PseudoBelowActualUnderLCFS: LCFS clears interior gaps, so old
+// messages' pseudo delays lag their actual delays (strict inequality must
+// occur somewhere), while Lemma 1 still bounds them.
+func TestLemma1PseudoBelowActualUnderLCFS(t *testing.T) {
+	pol := window.LCFS{Length: window.FixedG(gStar)}
+	r := rngutil.New(103)
+	lambda := 0.036 // load 0.9: backlogs form, so interior gaps appear
+	tracker := window.NewTracker(0, math.Inf(1), false)
+	now := 0.0
+	nextArr := r.Exp(lambda)
+	var pending []float64
+	sawStrict := false
+	for processes := 0; processes < 6000; processes++ {
+		for nextArr <= now {
+			pending = append(pending, nextArr)
+			nextArr += r.Exp(lambda)
+		}
+		sort.Float64s(pending)
+		for _, a := range pending {
+			pd := tracker.PseudoDelay(now, a)
+			actual := now - a
+			if pd > actual+1e-9 {
+				t.Fatalf("Lemma 1 violated: pseudo %v > actual %v", pd, actual)
+			}
+			if pd < actual-1e-6 {
+				sawStrict = true
+			}
+		}
+		view := tracker.View(now, 1, lambda)
+		if view.TNewest-view.TPast <= 0 {
+			now++
+			continue
+		}
+		rep, err := window.RunProcess(pol, view, func(w window.Window) int {
+			lo := sort.SearchFloat64s(pending, w.Start)
+			hi := sort.SearchFloat64s(pending, w.End)
+			return hi - lo
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range rep.Steps {
+			if s.Outcome == window.Success {
+				now += 25
+			} else {
+				now++
+			}
+		}
+		tracker.Commit(now, rep.Examined)
+		if rep.Success {
+			lo := sort.SearchFloat64s(pending, rep.SuccessWindow.Start)
+			pending = append(pending[:lo], pending[lo+1:]...)
+		}
+	}
+	if !sawStrict {
+		t.Fatal("LCFS never produced pseudo < actual — gap compression untested")
+	}
+}
+
+func TestPseudoDelayPanicsOnFuture(t *testing.T) {
+	tr := window.NewTracker(0, math.Inf(1), false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("future arrival accepted")
+		}
+	}()
+	tr.PseudoDelay(1, 2)
+}

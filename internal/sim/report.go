@@ -1,0 +1,103 @@
+// Package sim provides the experiment drivers that corroborate the
+// analytic models: a fast global-view simulator of the window protocol, a
+// full multi-station simulator running the distributed state machines over
+// the broadcast-channel model, and the harness that regenerates every
+// panel of the paper's figure 7.
+//
+// Loss is measured exactly as in §4.2 of the paper: a message is counted
+// lost when its *true* waiting time — arrival at the sender to the start
+// of its successful transmission — exceeds the constraint K, whether the
+// loss happens at the sender (discarded under policy element (4)) or at
+// the receiver (transmitted too late).
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"windowctl/internal/stats"
+)
+
+// Report aggregates the outcome of one simulation run.  Counters cover
+// only messages arriving after the warmup period.
+type Report struct {
+	// Offered counts measured message arrivals.
+	Offered int64
+	// AcceptedInTime counts messages transmitted with true wait <= K.
+	AcceptedInTime int64
+	// LostSender counts messages discarded at the sender (element (4)).
+	LostSender int64
+	// LostLate counts messages transmitted with true wait > K (receiver
+	// discard; possible for the uncontrolled baselines and, rarely, for
+	// the controlled protocol whose *own* windowing time is excluded from
+	// the analytic waiting-time definition).
+	LostLate int64
+	// LostPending counts messages still untransmitted at the end of the
+	// run whose age already exceeded K — they can only be lost.
+	LostPending int64
+	// Censored counts messages still pending at the end with age <= K;
+	// their fate is unknown and they are excluded from the loss ratio.
+	Censored int64
+
+	// TrueWait accumulates the true waiting times of transmitted messages.
+	TrueWait stats.Accumulator
+	// WaitHist is the waiting-time histogram of transmitted messages
+	// (bin width = τ), from which quantiles can be read.
+	WaitHist *stats.Histogram
+	// SchedulingSlots accumulates the wasted (idle + collision) slots
+	// attributed to each transmitted message — the simulated counterpart
+	// of the scheduling-time component of §4's service time.
+	SchedulingSlots stats.Accumulator
+
+	// IdleSlots, CollisionSlots and Transmissions count channel activity
+	// over the whole run (including warmup).
+	IdleSlots, CollisionSlots, Transmissions int64
+	// Utilization is the fraction of channel time spent on successful
+	// transmissions.
+	Utilization float64
+	// MaxBacklog is the largest number of simultaneously pending messages.
+	MaxBacklog int
+	// EndBacklog is the number pending when the run ended.
+	EndBacklog int
+}
+
+// Decided returns the number of measured messages with a known fate.
+func (r Report) Decided() int64 {
+	return r.AcceptedInTime + r.LostSender + r.LostLate + r.LostPending
+}
+
+// Lost returns the number of measured messages known lost.
+func (r Report) Lost() int64 { return r.LostSender + r.LostLate + r.LostPending }
+
+// Loss returns the measured loss fraction (0 when nothing was decided).
+func (r Report) Loss() float64 {
+	d := r.Decided()
+	if d == 0 {
+		return 0
+	}
+	return float64(r.Lost()) / float64(d)
+}
+
+// LossCI returns a Wilson confidence interval for the loss at the given
+// level.
+func (r Report) LossCI(level float64) (lo, hi float64) {
+	p := stats.Proportion{Successes: r.Lost(), Trials: r.Decided()}
+	return p.ConfidenceInterval(level)
+}
+
+// WaitQuantile returns the q-quantile of the true waiting time of
+// transmitted messages (from the run's histogram; +Inf when q falls in
+// the overflow region, NaN when nothing was transmitted).
+func (r Report) WaitQuantile(q float64) float64 {
+	if r.WaitHist == nil || r.WaitHist.N() == 0 {
+		return math.NaN()
+	}
+	return r.WaitHist.Quantile(q)
+}
+
+// String summarizes the run.
+func (r Report) String() string {
+	return fmt.Sprintf("offered=%d loss=%.4f (sender=%d late=%d pending=%d) censored=%d util=%.3f meanWait=%.3f schedSlots=%.3f",
+		r.Offered, r.Loss(), r.LostSender, r.LostLate, r.LostPending, r.Censored,
+		r.Utilization, r.TrueWait.Mean(), r.SchedulingSlots.Mean())
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"windowctl/internal/station"
+	"windowctl/internal/window"
+)
+
+// TestTalkspurtSuperpositionNearPoisson validates the packetized-voice
+// example's modelling assumption: the superposition of many on/off
+// (talkspurt) sources behaves close to Poisson traffic of the same mean
+// rate, so the Poisson-based analysis applies.  With *few* sources the
+// burstiness should show as extra loss.
+func TestTalkspurtSuperpositionNearPoisson(t *testing.T) {
+	const (
+		m        = 25.0
+		k        = 50.0
+		rhoPrime = 0.6
+	)
+	lambda := rhoPrime / m
+
+	base := Config{
+		Policy: window.Controlled{Length: window.FixedG(gStar)},
+		Tau:    1, M: m, Lambda: lambda, K: k,
+		EndTime: 8e5, Warmup: 8e4, Seed: 51,
+	}
+
+	run := func(stations int, talkspurt bool) float64 {
+		cfg := MultiConfig{Config: base, Stations: stations}
+		if talkspurt {
+			// Per-source mean rate λ/N; speech-like 40%% activity.
+			perStation := lambda / float64(stations)
+			cfg.Arrivals = func(int) station.ArrivalProcess {
+				return &station.OnOff{
+					OnRate:  perStation / 0.4,
+					MeanOn:  400, // talkspurts long relative to packet gaps
+					MeanOff: 600,
+				}
+			}
+		}
+		rep, err := RunMultiStation(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Loss()
+	}
+
+	poisson := run(32, false)
+	manyOnOff := run(32, true)
+	fewOnOff := run(3, true)
+
+	// Many superposed talkspurt sources ≈ Poisson.
+	if math.Abs(manyOnOff-poisson) > 0.45*poisson+0.02 {
+		t.Errorf("32 talkspurt sources loss %.4f far from Poisson %.4f", manyOnOff, poisson)
+	}
+	// Few bursty sources are worse than Poisson: loss strictly higher.
+	if fewOnOff <= poisson {
+		t.Errorf("3 bursty sources loss %.4f not above Poisson %.4f", fewOnOff, poisson)
+	}
+}
+
+func TestArrivalsFactoryValidation(t *testing.T) {
+	cfg := MultiConfig{
+		Config: Config{
+			Policy: window.Controlled{Length: window.FixedG(gStar)},
+			Tau:    1, M: 25, Lambda: 0.02, K: 50,
+			EndTime: 1e4, Warmup: 1e3, Seed: 1,
+		},
+		Stations: 2,
+		Arrivals: func(int) station.ArrivalProcess { return nil },
+	}
+	if _, err := RunMultiStation(cfg); err == nil {
+		t.Fatal("nil arrival process accepted")
+	}
+}

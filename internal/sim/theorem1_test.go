@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"testing"
+
+	"windowctl/internal/window"
+)
+
+// TestTheorem1EmpiricalOptimality verifies the paper's Theorem 1 on the
+// measured (actual) loss: with element (4) in force, degrading element (1)
+// (window position) or element (3) (older-half-first) can only increase
+// the fraction of messages lost.  The SMDP proves this in pseudo time;
+// simulation confirms it in actual time, which is where the two differ
+// (Lemma 1/2).
+func TestTheorem1EmpiricalOptimality(t *testing.T) {
+	base := Config{
+		Tau: 1, M: 25, Lambda: 0.75 / 25, K: 50,
+		EndTime: 1.2e6, Warmup: 5e4, Seed: 99,
+	}
+	run := func(p window.Policy) float64 {
+		cfg := base
+		cfg.Policy = p
+		rep, err := RunGlobal(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		return rep.Loss()
+	}
+	length := window.FixedG(gStar)
+	optimal := run(window.Controlled{Length: length})
+	newerFirst := run(window.ControlledVariant{Length: length, Side: window.Newer})
+	lagged := run(window.ControlledVariant{Length: length, Side: window.Older, PositionLag: 12})
+	laggedNewer := run(window.ControlledVariant{Length: length, Side: window.Newer, PositionLag: 12})
+
+	// Allow a hair of Monte Carlo noise on the comparisons.
+	const eps = 0.004
+	if optimal > newerFirst+eps {
+		t.Errorf("Theorem 1 (element 3): optimal %.4f worse than newer-first %.4f", optimal, newerFirst)
+	}
+	if optimal > lagged+eps {
+		t.Errorf("Theorem 1 (element 1): optimal %.4f worse than lagged %.4f", optimal, lagged)
+	}
+	if optimal > laggedNewer+eps {
+		t.Errorf("Theorem 1 (both): optimal %.4f worse than lagged+newer %.4f", optimal, laggedNewer)
+	}
+	// The fully degraded variant should be measurably worse, not a tie.
+	if laggedNewer < optimal+0.005 {
+		t.Errorf("degraded variant %.4f suspiciously close to optimal %.4f", laggedNewer, optimal)
+	}
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"windowctl/internal/dist"
+	"windowctl/internal/queueing"
+	"windowctl/internal/window"
+)
+
+// TestVariableMessageLengths exercises Theorem 1's actual premise —
+// message lengths need only be *identically distributed*, not constant —
+// and validates the M/G/1 machinery with a genuinely non-deterministic B:
+// exponential transmission times with mean M·τ.
+func TestVariableMessageLengths(t *testing.T) {
+	const (
+		rhoPrime = 0.5
+		m        = 25.0
+		k        = 75.0
+	)
+	lambda := rhoPrime / m
+	txLaw := dist.NewExponential(1 / m) // mean M·τ with τ = 1
+
+	cfg := Config{
+		Policy: window.Controlled{Length: window.FixedG(gStar)},
+		Tau:    1, M: m, Lambda: lambda, K: k,
+		EndTime: 2e6, Warmup: 1e5, Seed: 90,
+		TxLengths: txLaw,
+	}
+	rep, err := RunGlobal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := queueing.ProtocolModel{Tau: 1, M: m, RhoPrime: rhoPrime, TxDist: txLaw}
+	res, err := model.ControlledLoss(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Loss()-res.Loss) > 0.35*res.Loss+0.01 {
+		t.Fatalf("exponential lengths: sim %.4f vs analytic %.4f", rep.Loss(), res.Loss)
+	}
+
+	// Variability hurts: at the same load and constraint, exponential
+	// lengths must lose more than fixed ones (E[X²] doubles), in both
+	// the analysis and the simulation.
+	fixedModel := queueing.ProtocolModel{Tau: 1, M: m, RhoPrime: rhoPrime}
+	fixedRes, err := fixedModel.ControlledLoss(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Loss <= fixedRes.Loss {
+		t.Fatalf("analytic: exponential %.4f should exceed fixed %.4f", res.Loss, fixedRes.Loss)
+	}
+	fixedCfg := cfg
+	fixedCfg.TxLengths = nil
+	fixedRep, err := RunGlobal(fixedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Loss() <= fixedRep.Loss() {
+		t.Fatalf("simulated: exponential %.4f should exceed fixed %.4f", rep.Loss(), fixedRep.Loss())
+	}
+}
+
+// TestVariableLengthsServiceMoments sanity-checks the composed service
+// law against its defining moments.
+func TestVariableLengthsServiceMoments(t *testing.T) {
+	txLaw := dist.NewExponential(1.0 / 25)
+	model := queueing.ProtocolModel{Tau: 1, M: 25, RhoPrime: 0.5, TxDist: txLaw}
+	svc, err := model.Service(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean = overhead mean + 25.
+	overhead := svc.Mean() - 25
+	if overhead <= 0 || overhead > 2 {
+		t.Fatalf("overhead %v implausible", overhead)
+	}
+	// CDF is a valid distribution function.
+	prev := 0.0
+	for x := 0.0; x < 300; x += 5 {
+		c := svc.CDF(x)
+		if c < prev-1e-12 || c < 0 || c > 1 {
+			t.Fatalf("service CDF invalid at %v: %v", x, c)
+		}
+		prev = c
+	}
+	if prev < 0.999 {
+		t.Fatalf("service CDF at 300 only %v", prev)
+	}
+	// Zero window content with TxDist returns the bare length law.
+	svc0, err := model.Service(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(svc0.Mean()-25) > 1e-9 {
+		t.Fatalf("zero-content service mean %v", svc0.Mean())
+	}
+}

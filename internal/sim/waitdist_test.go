@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"windowctl/internal/queueing"
+	"windowctl/internal/window"
+)
+
+// TestAcceptedWaitDistributionMatchesSimulation validates equation 4.4:
+// the waiting-time distribution of *accepted* messages under the
+// controlled protocol, F(w)/F(K), against the simulated histogram of true
+// waits.  The analytic wait excludes the message's own windowing time, so
+// agreement within a few percent (plus half a slot of horizontal slack)
+// is the expected outcome.
+func TestAcceptedWaitDistributionMatchesSimulation(t *testing.T) {
+	const (
+		rhoPrime = 0.6
+		m        = 25.0
+		k        = 50.0
+	)
+	cfg := Config{
+		Policy: window.Controlled{Length: window.FixedG(gStar)},
+		Tau:    1, M: m, Lambda: rhoPrime / m, K: k,
+		EndTime: 2e6, Warmup: 1e5, Seed: 31,
+	}
+	rep, err := RunGlobal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := queueing.ProtocolModel{Tau: 1, M: m, RhoPrime: rhoPrime}
+	q := queueing.ImpatientMG1{Lambda: model.Lambda()}
+	svc, err := model.Service(model.WindowContent(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Service = svc
+
+	ws := []float64{0.25 * k, 0.5 * k, 0.75 * k, k}
+	analytic, err := q.AcceptedWaitCDF(k, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulated accepted-wait CDF: histogram of true waits conditioned on
+	// wait <= K.
+	accMass := rep.WaitHist.CDF(k)
+	if accMass <= 0 {
+		t.Fatal("no accepted messages")
+	}
+	for i, w := range ws {
+		got := rep.WaitHist.CDF(w) / accMass
+		if math.Abs(got-analytic[i]) > 0.06 {
+			t.Errorf("accepted-wait CDF at %v: sim %.4f vs analytic %.4f", w, got, analytic[i])
+		}
+	}
+}
+
+// TestTransmissionConservation checks flow conservation in a controlled
+// run: every offered, decided message is either transmitted or lost at
+// the sender, and the transmission count matches.
+func TestTransmissionConservation(t *testing.T) {
+	cfg := Config{
+		Policy: window.Controlled{Length: window.FixedG(gStar)},
+		Tau:    1, M: 25, Lambda: 0.02, K: 75,
+		EndTime: 4e5, Warmup: 0, Seed: 32,
+	}
+	rep, err := RunGlobal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With Warmup = 0 every message is measured, so transmissions equal
+	// accepted + late.
+	if rep.Transmissions != rep.AcceptedInTime+rep.LostLate {
+		t.Fatalf("transmissions %d != accepted %d + late %d",
+			rep.Transmissions, rep.AcceptedInTime, rep.LostLate)
+	}
+	if rep.Offered != rep.Transmissions+rep.LostSender+rep.LostPending+rep.Censored {
+		t.Fatalf("message conservation broken: %+v", rep)
+	}
+}

@@ -1,0 +1,237 @@
+// Package smdp implements the semi-Markov decision model of §3 of the
+// paper and Howard policy iteration over it (appendix A).
+//
+// Time is discrete in units of Δ = τ (one probe slot), small enough that a
+// unit holds at most one message arrival (probability P).  The state is
+// the paper's pseudo-time span i ∈ {0, …, K}: the number of time units
+// that may still contain untransmitted arrivals.  Policy element (4)
+// clamps the span at K; each clamped unit carries an untransmitted message
+// with probability P, which is the one-step pseudo loss.
+//
+// A decision in state i >= 1 selects the initial window length a ∈
+// {1, …, i} (policy element (2) — the element the paper could not
+// characterize in closed form).  Elements (1) and (3) are fixed at their
+// Theorem-1 optima (oldest position, older half first); under them pseudo
+// and actual time coincide (Lemma 2), so the model's pseudo loss is the
+// controlled protocol's actual loss.  The windowing process is resolved
+// *exactly* over the discrete window: occupancy is i.i.d. Bernoulli(P) and
+// the splitting recursion is enumerated with conditioning, not simulated.
+//
+// Policy iteration then yields the true optimal window-size rule a*(i) and
+// the minimal long-run loss — the quantity the paper approximated with the
+// min-mean-scheduling-time heuristic.  The package also evaluates that
+// heuristic policy so the two can be compared (see the ablation bench).
+package smdp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is the discrete decision model.
+type Model struct {
+	// K is the time constraint in units of Δ = τ; the state space is
+	// {0, …, K}.
+	K int
+	// M is the message transmission time in slots.
+	M int
+	// P is the probability a time unit contains a message arrival
+	// (P = 1 − e^(−λΔ)).
+	P float64
+
+	// splitMemo caches the resolution law of collided windows by size.
+	splitMemo map[int][]wePair
+}
+
+// wePair is one outcome of resolving a window known to hold >= 2 messages:
+// w wasted slots (idle + collision probes after the initial collision) and
+// e examined units, with its probability.
+type wePair struct {
+	w, e int
+	prob float64
+}
+
+// Outcome is one aggregated windowing-process result.
+type Outcome struct {
+	// Sigma is the elapsed time in slots until the next decision.
+	Sigma int
+	// Examined is the number of window units proven clear.
+	Examined int
+	// Success reports whether a message was transmitted.
+	Success bool
+	// Prob is the outcome probability.
+	Prob float64
+}
+
+// NewModel validates and returns a Model.
+func NewModel(k, m int, p float64) (*Model, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("smdp: K=%d must be >= 1", k)
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("smdp: M=%d must be >= 1", m)
+	}
+	if p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("smdp: occupancy P=%v must lie in (0,1)", p)
+	}
+	return &Model{K: k, M: m, P: p, splitMemo: map[int][]wePair{}}, nil
+}
+
+// binomTail returns P(Bin(n, p) >= lo) for lo in {1, 2}.
+func (m *Model) binomTail(n, lo int) float64 {
+	q := 1 - m.P
+	p0 := math.Pow(q, float64(n))
+	switch lo {
+	case 1:
+		return 1 - p0
+	case 2:
+		p1 := float64(n) * m.P * math.Pow(q, float64(n-1))
+		return 1 - p0 - p1
+	default:
+		panic("smdp: binomTail supports lo in {1,2}")
+	}
+}
+
+// splitGE2 returns the exact resolution law of a window of a units known
+// to contain at least two messages, after its (already counted) initial
+// collision: the distribution of (wasted slots, examined units) until the
+// success transmission begins.  The split puts ceil(a/2) units in the
+// older half, which is always probed first (Theorem 1).
+func (m *Model) splitGE2(a int) []wePair {
+	if a < 2 {
+		panic(fmt.Sprintf("smdp: splitGE2(%d)", a))
+	}
+	if out, ok := m.splitMemo[a]; ok {
+		return out
+	}
+	q := 1 - m.P
+	aL := (a + 1) / 2
+	aR := a - aL
+	z := m.binomTail(a, 2)
+	acc := map[[2]int]float64{}
+
+	// E1: the older half holds exactly one message — it is transmitted and
+	// the older half (aL units) is proven clear; the newer half rejoins
+	// the unexamined region.
+	pE1 := float64(aL) * m.P * math.Pow(q, float64(aL-1)) * m.binomTail(aR, 1) / z
+	if pE1 > 0 {
+		acc[[2]int{0, aL}] += pE1
+	}
+	// E0: the older half is empty (one idle slot, aL units cleared); the
+	// newer half is then known to hold >= 2 and is split immediately.
+	if aR >= 2 {
+		pE0 := math.Pow(q, float64(aL)) * m.binomTail(aR, 2) / z
+		if pE0 > 0 {
+			for _, sub := range m.splitGE2(aR) {
+				acc[[2]int{1 + sub.w, aL + sub.e}] += pE0 * sub.prob
+			}
+		}
+	}
+	// E2: the older half itself collides (one collision slot); the newer
+	// half rejoins the unexamined region unprobed.
+	if aL >= 2 {
+		pE2 := m.binomTail(aL, 2) / z
+		if pE2 > 0 {
+			for _, sub := range m.splitGE2(aL) {
+				acc[[2]int{1 + sub.w, sub.e}] += pE2 * sub.prob
+			}
+		}
+	}
+
+	out := make([]wePair, 0, len(acc))
+	for k, p := range acc {
+		out = append(out, wePair{w: k[0], e: k[1], prob: p})
+	}
+	m.splitMemo[a] = out
+	return out
+}
+
+// ResolveFresh returns the exact law of one windowing process started on a
+// fresh window of a >= 1 units.
+func (m *Model) ResolveFresh(a int) []Outcome {
+	if a < 1 {
+		panic(fmt.Sprintf("smdp: ResolveFresh(%d)", a))
+	}
+	q := 1 - m.P
+	var out []Outcome
+	p0 := math.Pow(q, float64(a))
+	out = append(out, Outcome{Sigma: 1, Examined: a, Success: false, Prob: p0})
+	p1 := float64(a) * m.P * math.Pow(q, float64(a-1))
+	out = append(out, Outcome{Sigma: m.M, Examined: a, Success: true, Prob: p1})
+	if a >= 2 {
+		pc := m.binomTail(a, 2)
+		for _, sub := range m.splitGE2(a) {
+			out = append(out, Outcome{
+				Sigma:    1 + sub.w + m.M,
+				Examined: sub.e,
+				Success:  true,
+				Prob:     pc * sub.prob,
+			})
+		}
+	}
+	return out
+}
+
+// Transition aggregates one (state, action) pair.
+type Transition struct {
+	// NextProb[j] is the probability the next state is j.
+	NextProb []float64
+	// ExpLoss is the expected number of messages discarded by the clamp
+	// (the one-step pseudo loss r_i^a of appendix A).
+	ExpLoss float64
+	// ExpTime is the expected slots until the next decision (τ̄_i^a).
+	ExpTime float64
+}
+
+// Actions returns the feasible window lengths in state i: {1..i}, or the
+// single "wait one slot" pseudo-action (encoded as 0) when i = 0.
+func (m *Model) Actions(i int) []int {
+	if i == 0 {
+		return []int{0}
+	}
+	acts := make([]int, i)
+	for a := 1; a <= i; a++ {
+		acts[a-1] = a
+	}
+	return acts
+}
+
+// Transitions computes the exact transition law for choosing window length
+// a in state i.  Action 0 (wait) is valid only in state 0.
+func (m *Model) Transitions(i, a int) (Transition, error) {
+	if i < 0 || i > m.K {
+		return Transition{}, fmt.Errorf("smdp: state %d outside [0, %d]", i, m.K)
+	}
+	t := Transition{NextProb: make([]float64, m.K+1)}
+	if a == 0 {
+		if i != 0 {
+			return Transition{}, fmt.Errorf("smdp: wait action only valid in state 0")
+		}
+		// One slot passes; one new unit of time accrues.
+		j := 1
+		if j > m.K {
+			j = m.K
+		}
+		t.NextProb[j] = 1
+		t.ExpTime = 1
+		return t, nil
+	}
+	if a < 1 || a > i {
+		return Transition{}, fmt.Errorf("smdp: action %d infeasible in state %d", a, i)
+	}
+	for _, o := range m.ResolveFresh(a) {
+		raw := i - o.Examined + o.Sigma
+		over := raw - m.K
+		if over < 0 {
+			over = 0
+		}
+		j := raw - over
+		t.NextProb[j] += o.Prob
+		t.ExpLoss += o.Prob * m.P * float64(over)
+		t.ExpTime += o.Prob * float64(o.Sigma)
+	}
+	return t, nil
+}
+
+// ArrivalRate returns the expected arrivals per slot (= P).
+func (m *Model) ArrivalRate() float64 { return m.P }

@@ -1,0 +1,64 @@
+package smdp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestValueIterationMatchesPolicyIteration: two independent solution
+// algorithms for the appendix-A decision problem must agree on the
+// optimal gain.
+func TestValueIterationMatchesPolicyIteration(t *testing.T) {
+	cases := []struct {
+		k, m int
+		p    float64
+	}{
+		{15, 5, 0.2},
+		{30, 10, 0.08},
+		{40, 25, 0.03},
+	}
+	for _, c := range cases {
+		mod := mustModel(t, c.k, c.m, c.p)
+		pi, err := mod.PolicyIteration(nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vi, err := mod.ValueIteration(1e-11, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pi.Gain-vi.Gain) > 1e-7*(1+pi.Gain) {
+			t.Errorf("K=%d M=%d p=%v: PI gain %v vs VI gain %v", c.k, c.m, c.p, pi.Gain, vi.Gain)
+		}
+		// The value-iteration policy must be at least as good as the
+		// policy-iteration one when evaluated exactly (ties allowed).
+		viEval, err := mod.Evaluate(vi.Policy)
+		if err != nil {
+			t.Fatalf("VI policy infeasible: %v", err)
+		}
+		if viEval.Gain > pi.Gain+1e-9 {
+			t.Errorf("VI policy gain %v worse than PI %v", viEval.Gain, pi.Gain)
+		}
+	}
+}
+
+func TestValueIterationHandComputableK1(t *testing.T) {
+	p := 0.3
+	mDur := 4
+	mod := mustModel(t, 1, mDur, p)
+	vi, err := mod.ValueIteration(1e-12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p * p * float64(mDur-1) / ((1-p)*1 + p*float64(mDur))
+	if math.Abs(vi.Gain-want) > 1e-9 {
+		t.Fatalf("VI gain %v, hand value %v", vi.Gain, want)
+	}
+}
+
+func TestValueIterationDivergenceGuard(t *testing.T) {
+	mod := mustModel(t, 20, 8, 0.1)
+	if _, err := mod.ValueIteration(1e-16, 3); err == nil {
+		t.Fatal("impossible tolerance within 3 sweeps accepted")
+	}
+}

@@ -1,0 +1,188 @@
+// Package station models the distributed senders of the multiple-access
+// network: each station generates its own message arrivals, holds the
+// pending ones in a local queue ordered by arrival time, and participates
+// in the window protocol by transmitting exactly when one of its pending
+// messages falls inside the commonly enabled window.
+//
+// Arrival generation is pluggable.  The paper's analysis assumes Poisson
+// traffic; the packetized-voice example uses an on/off (talkspurt) source,
+// whose superposition across many stations the Poisson analysis
+// approximates.
+package station
+
+import (
+	"fmt"
+	"sort"
+
+	"windowctl/internal/rngutil"
+	"windowctl/internal/window"
+)
+
+// Message is one fixed-length message awaiting transmission.
+type Message struct {
+	// ID is unique across the simulation.
+	ID int64
+	// Origin is the generating station's index.
+	Origin int
+	// Arrival is the absolute arrival time at the sending station.
+	Arrival float64
+}
+
+// ArrivalProcess generates successive inter-arrival gaps.
+type ArrivalProcess interface {
+	// NextGap returns the time from the previous arrival to the next one;
+	// it must be strictly positive.
+	NextGap(r *rngutil.Stream) float64
+	// String describes the process.
+	String() string
+}
+
+// Poisson is a Poisson arrival process with the given rate.
+type Poisson struct{ Rate float64 }
+
+// NextGap implements ArrivalProcess.
+func (p Poisson) NextGap(r *rngutil.Stream) float64 { return r.Exp(p.Rate) }
+
+// String implements ArrivalProcess.
+func (p Poisson) String() string { return fmt.Sprintf("Poisson(rate=%g)", p.Rate) }
+
+// OnOff is a two-state talkspurt source: during an ON period (mean
+// duration MeanOn) arrivals are Poisson at OnRate; OFF periods (mean
+// MeanOff) generate nothing.  Both period lengths are exponential.  It
+// models a packetized-voice speaker, the motivating application of the
+// paper's introduction.
+type OnOff struct {
+	// OnRate is the arrival rate while talking.
+	OnRate float64
+	// MeanOn and MeanOff are the mean talkspurt and silence durations.
+	MeanOn, MeanOff float64
+
+	on        bool
+	stateLeft float64
+}
+
+// NextGap implements ArrivalProcess.
+func (o *OnOff) NextGap(r *rngutil.Stream) float64 {
+	if o.OnRate <= 0 || o.MeanOn <= 0 || o.MeanOff <= 0 {
+		panic("station: OnOff needs positive OnRate, MeanOn, MeanOff")
+	}
+	gap := 0.0
+	for {
+		if !o.on {
+			// Skip the rest of the silence, then start a talkspurt.
+			gap += o.stateLeft
+			o.stateLeft = r.Exp(1 / o.MeanOn)
+			o.on = true
+		}
+		candidate := r.Exp(o.OnRate)
+		if candidate <= o.stateLeft {
+			o.stateLeft -= candidate
+			return gap + candidate
+		}
+		// Talkspurt ended before the next packet: enter silence.
+		gap += o.stateLeft
+		o.on = false
+		o.stateLeft = r.Exp(1 / o.MeanOff)
+	}
+}
+
+// MeanRate returns the long-run arrival rate of the on/off source.
+func (o *OnOff) MeanRate() float64 {
+	return o.OnRate * o.MeanOn / (o.MeanOn + o.MeanOff)
+}
+
+// String implements ArrivalProcess.
+func (o *OnOff) String() string {
+	return fmt.Sprintf("OnOff(onRate=%g, on=%g, off=%g)", o.OnRate, o.MeanOn, o.MeanOff)
+}
+
+// Station is one sender.
+type Station struct {
+	id      int
+	proc    ArrivalProcess
+	rng     *rngutil.Stream
+	nextID  *int64 // shared message-ID counter
+	nextAt  float64
+	queue   []Message // pending messages, ascending arrival time
+	created int64
+}
+
+// New creates a station.  nextID is a shared counter used to assign
+// globally unique message IDs; pass the same pointer to every station.
+func New(id int, proc ArrivalProcess, rng *rngutil.Stream, nextID *int64) *Station {
+	if proc == nil || rng == nil || nextID == nil {
+		panic("station: nil dependency")
+	}
+	s := &Station{id: id, proc: proc, rng: rng, nextID: nextID}
+	s.nextAt = proc.NextGap(rng)
+	return s
+}
+
+// ID returns the station index.
+func (s *Station) ID() int { return s.id }
+
+// GenerateUntil materializes every arrival with time <= t into the queue
+// and returns how many were added.
+func (s *Station) GenerateUntil(t float64) int {
+	added := 0
+	for s.nextAt <= t {
+		id := *s.nextID
+		*s.nextID++
+		s.queue = append(s.queue, Message{ID: id, Origin: s.id, Arrival: s.nextAt})
+		s.created++
+		added++
+		gap := s.proc.NextGap(s.rng)
+		if gap <= 0 {
+			panic("station: arrival process returned non-positive gap")
+		}
+		s.nextAt += gap
+	}
+	return added
+}
+
+// NextArrivalAt returns the time of the next not-yet-materialized arrival.
+func (s *Station) NextArrivalAt() float64 { return s.nextAt }
+
+// QueueLen returns the number of pending messages.
+func (s *Station) QueueLen() int { return len(s.queue) }
+
+// Created returns the total number of messages generated so far.
+func (s *Station) Created() int64 { return s.created }
+
+// CountIn returns how many pending messages have arrival times inside w.
+func (s *Station) CountIn(w window.Window) int {
+	lo := sort.Search(len(s.queue), func(i int) bool { return s.queue[i].Arrival >= w.Start })
+	hi := sort.Search(len(s.queue), func(i int) bool { return s.queue[i].Arrival >= w.End })
+	return hi - lo
+}
+
+// PopOldestIn removes and returns the oldest pending message inside w.
+func (s *Station) PopOldestIn(w window.Window) (Message, bool) {
+	lo := sort.Search(len(s.queue), func(i int) bool { return s.queue[i].Arrival >= w.Start })
+	if lo >= len(s.queue) || !w.Contains(s.queue[lo].Arrival) {
+		return Message{}, false
+	}
+	m := s.queue[lo]
+	s.queue = append(s.queue[:lo], s.queue[lo+1:]...)
+	return m, true
+}
+
+// DiscardArrivedBefore removes and returns every pending message with
+// arrival time strictly below the horizon (policy element (4)).
+func (s *Station) DiscardArrivedBefore(horizon float64) []Message {
+	cut := sort.Search(len(s.queue), func(i int) bool { return s.queue[i].Arrival >= horizon })
+	if cut == 0 {
+		return nil
+	}
+	dropped := append([]Message(nil), s.queue[:cut]...)
+	s.queue = append(s.queue[:0], s.queue[cut:]...)
+	return dropped
+}
+
+// Oldest returns the oldest pending message without removing it.
+func (s *Station) Oldest() (Message, bool) {
+	if len(s.queue) == 0 {
+		return Message{}, false
+	}
+	return s.queue[0], true
+}

@@ -1,0 +1,241 @@
+package station
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"windowctl/internal/rngutil"
+	"windowctl/internal/window"
+)
+
+func newStation(seed uint64, rate float64) *Station {
+	var nextID int64
+	return New(0, Poisson{Rate: rate}, rngutil.New(seed), &nextID)
+}
+
+func TestPoissonGenerationRate(t *testing.T) {
+	s := newStation(1, 2.0)
+	s.GenerateUntil(10000)
+	got := float64(s.Created()) / 10000
+	if math.Abs(got-2) > 0.05 {
+		t.Fatalf("generation rate %v, want 2", got)
+	}
+}
+
+func TestGenerateUntilIncremental(t *testing.T) {
+	a := newStation(5, 1)
+	b := newStation(5, 1)
+	a.GenerateUntil(100)
+	for x := 0.0; x <= 100; x += 0.7 {
+		b.GenerateUntil(x)
+	}
+	b.GenerateUntil(100)
+	if a.Created() != b.Created() {
+		t.Fatalf("incremental generation differs: %d vs %d", a.Created(), b.Created())
+	}
+	if a.QueueLen() != b.QueueLen() {
+		t.Fatal("queues differ")
+	}
+}
+
+func TestCountAndPop(t *testing.T) {
+	s := newStation(2, 1)
+	s.GenerateUntil(50)
+	w := window.Window{Start: 10, End: 20}
+	n := s.CountIn(w)
+	// Cross-check by popping until empty.
+	popped := 0
+	for {
+		m, ok := s.PopOldestIn(w)
+		if !ok {
+			break
+		}
+		if !w.Contains(m.Arrival) {
+			t.Fatalf("popped %v outside window", m.Arrival)
+		}
+		popped++
+	}
+	if popped != n {
+		t.Fatalf("CountIn=%d but popped %d", n, popped)
+	}
+	if s.CountIn(w) != 0 {
+		t.Fatal("window still non-empty after draining")
+	}
+}
+
+func TestPopOldestOrder(t *testing.T) {
+	s := newStation(3, 1)
+	s.GenerateUntil(30)
+	w := window.Window{Start: 0, End: 30}
+	prev := -1.0
+	for {
+		m, ok := s.PopOldestIn(w)
+		if !ok {
+			break
+		}
+		if m.Arrival < prev {
+			t.Fatal("pop order not ascending")
+		}
+		prev = m.Arrival
+	}
+}
+
+func TestDiscardArrivedBefore(t *testing.T) {
+	s := newStation(4, 1)
+	s.GenerateUntil(40)
+	total := s.QueueLen()
+	dropped := s.DiscardArrivedBefore(20)
+	for _, m := range dropped {
+		if m.Arrival >= 20 {
+			t.Fatalf("dropped fresh message at %v", m.Arrival)
+		}
+	}
+	if s.QueueLen()+len(dropped) != total {
+		t.Fatal("messages lost in discard")
+	}
+	if old, ok := s.Oldest(); ok && old.Arrival < 20 {
+		t.Fatal("old message survived discard")
+	}
+	// Idempotent.
+	if len(s.DiscardArrivedBefore(20)) != 0 {
+		t.Fatal("second discard dropped messages")
+	}
+}
+
+func TestOldestEmpty(t *testing.T) {
+	s := newStation(6, 1)
+	if _, ok := s.Oldest(); ok {
+		t.Fatal("empty station has an oldest message")
+	}
+}
+
+func TestUniqueIDsAcrossStations(t *testing.T) {
+	var nextID int64
+	r := rngutil.New(9)
+	sts := make([]*Station, 4)
+	for i := range sts {
+		sts[i] = New(i, Poisson{Rate: 1}, r.Spawn(), &nextID)
+	}
+	seen := map[int64]bool{}
+	for _, s := range sts {
+		s.GenerateUntil(100)
+		w := window.Window{Start: 0, End: 101}
+		for {
+			m, ok := s.PopOldestIn(w)
+			if !ok {
+				break
+			}
+			if seen[m.ID] {
+				t.Fatalf("duplicate message ID %d", m.ID)
+			}
+			if m.Origin != s.ID() {
+				t.Fatal("origin mismatch")
+			}
+			seen[m.ID] = true
+		}
+	}
+}
+
+func TestOnOffMeanRate(t *testing.T) {
+	o := &OnOff{OnRate: 50, MeanOn: 1.0, MeanOff: 1.5}
+	want := 50 * 1.0 / 2.5
+	if math.Abs(o.MeanRate()-want) > 1e-12 {
+		t.Fatalf("MeanRate %v, want %v", o.MeanRate(), want)
+	}
+	var nextID int64
+	s := New(0, o, rngutil.New(11), &nextID)
+	s.GenerateUntil(5000)
+	got := float64(s.Created()) / 5000
+	if math.Abs(got-want) > 0.05*want {
+		t.Fatalf("on/off empirical rate %v, want %v", got, want)
+	}
+}
+
+func TestOnOffBurstiness(t *testing.T) {
+	// Index of dispersion of counts over short intervals must exceed 1
+	// (Poisson would be ~1): the defining property of talkspurt traffic.
+	o := &OnOff{OnRate: 40, MeanOn: 0.5, MeanOff: 2}
+	var nextID int64
+	s := New(0, o, rngutil.New(12), &nextID)
+	s.GenerateUntil(4000)
+	w := 1.0 // counting window
+	counts := make([]float64, 4000)
+	all := window.Window{Start: 0, End: 4001}
+	for {
+		m, ok := s.PopOldestIn(all)
+		if !ok {
+			break
+		}
+		idx := int(m.Arrival / w)
+		if idx < len(counts) {
+			counts[idx]++
+		}
+	}
+	mean, varsum := 0.0, 0.0
+	for _, c := range counts {
+		mean += c
+	}
+	mean /= float64(len(counts))
+	for _, c := range counts {
+		varsum += (c - mean) * (c - mean)
+	}
+	iod := varsum / float64(len(counts)) / mean
+	if iod < 1.5 {
+		t.Fatalf("on/off index of dispersion %v, expected bursty (> 1.5)", iod)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	var id int64
+	r := rngutil.New(1)
+	for i, fn := range []func(){
+		func() { New(0, nil, r, &id) },
+		func() { New(0, Poisson{Rate: 1}, nil, &id) },
+		func() { New(0, Poisson{Rate: 1}, r, nil) },
+		func() {
+			o := &OnOff{}
+			var nid int64
+			s := New(0, o, rngutil.New(2), &nid)
+			s.GenerateUntil(1)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: the queue is always sorted by arrival and CountIn is
+// consistent with membership.
+func TestQueueSortedProperty(t *testing.T) {
+	f := func(seed uint64, horizon uint8) bool {
+		s := newStation(seed, 1.5)
+		s.GenerateUntil(float64(horizon%50) + 1)
+		prev := -1.0
+		w := window.Window{Start: 0, End: 1e9}
+		n := s.CountIn(w)
+		if n != s.QueueLen() {
+			return false
+		}
+		for {
+			m, ok := s.PopOldestIn(w)
+			if !ok {
+				break
+			}
+			if m.Arrival < prev {
+				return false
+			}
+			prev = m.Arrival
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

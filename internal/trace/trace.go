@@ -1,0 +1,236 @@
+// Package trace renders the operation of the window protocol as a textual
+// timeline — the library's counterpart of the paper's figures 1 (window
+// splitting), 2 (a station's view of the time axis) and 4 (maintenance of
+// t_past under the controlled policy).  It drives the real protocol engine
+// over a scripted set of arrival times, recording every probe.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"windowctl/internal/window"
+)
+
+// Event is one probe of the traced run.
+type Event struct {
+	// Time is when the probe started.
+	Time float64
+	// Enabled is the probed window.
+	Enabled window.Window
+	// Outcome is the channel feedback.
+	Outcome window.Feedback
+	// TPast is the oldest possibly-occupied time at the probe.
+	TPast float64
+	// Transmitted is the arrival time of the isolated message (success
+	// probes only).
+	Transmitted float64
+	// Discarded lists arrival times dropped by element (4) at the
+	// decision epoch immediately preceding this probe.
+	Discarded []float64
+}
+
+// Trace is a recorded protocol run.
+type Trace struct {
+	// Events lists every probe in order.
+	Events []Event
+	// Sent lists transmitted arrival times in transmission order.
+	Sent []float64
+	// Lost lists arrival times discarded by element (4).
+	Lost []float64
+	// Cleared is the final set of intervals known to hold no
+	// untransmitted arrivals.
+	Cleared []window.Window
+	// End is the clock when tracing stopped.
+	End float64
+}
+
+// Config parameterizes a traced run.
+type Config struct {
+	// Policy is the control policy; required.
+	Policy window.Policy
+	// Arrivals are the scripted message arrival times (any order).
+	Arrivals []float64
+	// Tau is the slot time; 0 means 1.
+	Tau float64
+	// M is the message length in slots; 0 means 4 (kept short so traces
+	// stay readable).
+	M float64
+	// K is the constraint; 0 means +Inf.
+	K float64
+	// Start is the initial clock; it must exceed every arrival.  0 means
+	// just after the latest arrival.
+	Start float64
+	// MaxSteps bounds the run; 0 means 200.
+	MaxSteps int
+}
+
+// Run drives the protocol over the scripted arrivals until all messages
+// are transmitted or discarded, the clock reaches Start+K with nothing
+// pending, or MaxSteps probes have happened.
+func Run(cfg Config) (*Trace, error) {
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("trace: missing policy")
+	}
+	if err := window.Validate(cfg.Policy); err != nil {
+		return nil, err
+	}
+	if cfg.Tau == 0 {
+		cfg.Tau = 1
+	}
+	if cfg.M == 0 {
+		cfg.M = 4
+	}
+	if cfg.K == 0 {
+		cfg.K = math.Inf(1)
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 200
+	}
+	pending := append([]float64(nil), cfg.Arrivals...)
+	sort.Float64s(pending)
+	start := cfg.Start
+	if start == 0 {
+		if len(pending) > 0 {
+			start = pending[len(pending)-1] + cfg.Tau
+		} else {
+			start = cfg.Tau
+		}
+	}
+	if len(pending) > 0 && pending[len(pending)-1] >= start {
+		return nil, fmt.Errorf("trace: arrivals must precede the start time %v", start)
+	}
+
+	tr := &Trace{}
+	tracker := window.NewTracker(0, cfg.K, cfg.Policy.Discards())
+	now := start
+	steps := 0
+	for steps < cfg.MaxSteps {
+		var discarded []float64
+		if cfg.Policy.Discards() {
+			h := tracker.Horizon(now)
+			cut := sort.SearchFloat64s(pending, h)
+			discarded = append(discarded, pending[:cut]...)
+			pending = pending[cut:]
+			tr.Lost = append(tr.Lost, discarded...)
+		}
+		if len(pending) == 0 {
+			break
+		}
+		view := tracker.View(now, cfg.Tau, 1)
+		if view.TNewest-view.TPast <= 0 {
+			now += cfg.Tau
+			continue
+		}
+		count := func(w window.Window) int {
+			lo := sort.SearchFloat64s(pending, w.Start)
+			hi := sort.SearchFloat64s(pending, w.End)
+			return hi - lo
+		}
+		rep, err := window.RunProcess(cfg.Policy, view, count)
+		if err != nil {
+			return nil, err
+		}
+		for si, s := range rep.Steps {
+			ev := Event{Time: now, Enabled: s.Enabled, Outcome: s.Outcome, TPast: view.TPast}
+			if si == 0 {
+				ev.Discarded = discarded
+			}
+			if s.Outcome == window.Success {
+				lo := sort.SearchFloat64s(pending, s.Enabled.Start)
+				ev.Transmitted = pending[lo]
+				tr.Sent = append(tr.Sent, pending[lo])
+				pending = append(pending[:lo], pending[lo+1:]...)
+				now += cfg.M * cfg.Tau
+			} else {
+				now += cfg.Tau
+			}
+			tr.Events = append(tr.Events, ev)
+			steps++
+		}
+		tracker.Commit(now, rep.Examined)
+	}
+	tr.End = now
+	tr.Cleared = tracker.ClearedIntervals()
+	return tr, nil
+}
+
+// Render formats the trace as one line per probe, in the style of the
+// paper's figure 1 narrative.
+func (t *Trace) Render() string {
+	var b strings.Builder
+	for _, e := range t.Events {
+		fmt.Fprintf(&b, "t=%7.2f  t_past=%7.2f  enable %-22s -> %-9s", e.Time, e.TPast, e.Enabled, e.Outcome)
+		if e.Outcome == window.Success {
+			fmt.Fprintf(&b, "  transmit arrival@%.2f", e.Transmitted)
+		}
+		if len(e.Discarded) > 0 {
+			fmt.Fprintf(&b, "  (discarded %d late message(s))", len(e.Discarded))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "sent %d message(s) in order %v; discarded %v\n", len(t.Sent), t.Sent, t.Lost)
+	return b.String()
+}
+
+// RenderPseudoTime draws the figure-3 view: the actual time axis on top
+// ('#' = examined/removed, '.' = may hold messages) and, below it, the
+// compressed pseudo-time axis in which the removed intervals vanish, with
+// '|' marking where each surviving actual-time sample lands.
+func (t *Trace) RenderPseudoTime(lo, hi float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if hi <= lo {
+		return ""
+	}
+	var covered window.IntervalSet
+	for _, w := range t.Cleared {
+		covered.Add(w)
+	}
+	var actual, pseudo strings.Builder
+	actual.WriteString("actual: ")
+	pseudo.WriteString("pseudo: ")
+	for i := 0; i < width; i++ {
+		x := lo + (hi-lo)*(float64(i)+0.5)/float64(width)
+		if covered.Covers(x) {
+			actual.WriteByte('#')
+		} else {
+			actual.WriteByte('.')
+			pseudo.WriteByte('.')
+		}
+	}
+	total := covered.UncoveredMeasure(lo, hi)
+	return fmt.Sprintf("%s\n%s   (uncompressed span %.4g, pseudo span %.4g)",
+		actual.String(), pseudo.String(), hi-lo, total)
+}
+
+// RenderAxis draws the figure-2 view of the time axis over [lo, hi): '#'
+// marks intervals known to contain no untransmitted arrivals, '.' marks
+// time that may still hold messages, and '|' closes the axis at the
+// current time.
+func (t *Trace) RenderAxis(lo, hi float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if hi <= lo {
+		return ""
+	}
+	var covered window.IntervalSet
+	for _, w := range t.Cleared {
+		covered.Add(w)
+	}
+	var b strings.Builder
+	for i := 0; i < width; i++ {
+		x := lo + (hi-lo)*(float64(i)+0.5)/float64(width)
+		if covered.Covers(x) {
+			b.WriteByte('#')
+		} else {
+			b.WriteByte('.')
+		}
+	}
+	b.WriteByte('|')
+	return b.String()
+}

@@ -1,0 +1,224 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"windowctl/internal/window"
+)
+
+func TestFigure1Scenario(t *testing.T) {
+	// The figure-1 narrative: three stations with arrivals; the initial
+	// window holds two, splitting isolates the older one.
+	cfg := Config{
+		Policy:   window.Controlled{Length: window.FixedLength(8)},
+		Arrivals: []float64{1.0, 3.0, 6.5},
+		Start:    8,
+		K:        math.Inf(1),
+	}
+	tr, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Sent) != 3 {
+		t.Fatalf("sent %v", tr.Sent)
+	}
+	// Controlled policy: global FCFS order.
+	if tr.Sent[0] != 1.0 || tr.Sent[1] != 3.0 || tr.Sent[2] != 6.5 {
+		t.Fatalf("not FCFS order: %v", tr.Sent)
+	}
+	if len(tr.Lost) != 0 {
+		t.Fatalf("lost %v", tr.Lost)
+	}
+	out := tr.Render()
+	for _, want := range []string{"collision", "success", "transmit arrival@1.00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiscardAppearsInTrace(t *testing.T) {
+	// K small: the old arrival expires before it can be sent.
+	cfg := Config{
+		Policy:   window.Controlled{Length: window.FixedLength(2)},
+		Arrivals: []float64{0.5, 9.5},
+		Start:    10,
+		K:        3,
+		M:        4,
+	}
+	tr, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Lost) != 1 || tr.Lost[0] != 0.5 {
+		t.Fatalf("lost %v, want the stale arrival", tr.Lost)
+	}
+	if len(tr.Sent) != 1 || tr.Sent[0] != 9.5 {
+		t.Fatalf("sent %v", tr.Sent)
+	}
+	if !strings.Contains(tr.Render(), "discarded") {
+		t.Fatal("render does not mention the discard")
+	}
+}
+
+func TestLCFSTraceOrder(t *testing.T) {
+	cfg := Config{
+		Policy:   window.LCFS{Length: window.FixedLength(8)},
+		Arrivals: []float64{1.0, 3.0, 6.5},
+		Start:    8,
+	}
+	tr, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Sent) != 3 || tr.Sent[0] != 6.5 {
+		t.Fatalf("LCFS should send the newest first: %v", tr.Sent)
+	}
+	// LCFS sweeps in pseudo time, so the stale messages are still
+	// delivered (newest remaining first) rather than starving.
+	if tr.Sent[1] != 3.0 || tr.Sent[2] != 1.0 {
+		t.Fatalf("LCFS order: %v", tr.Sent)
+	}
+}
+
+func TestRenderAxis(t *testing.T) {
+	cfg := Config{
+		Policy:   window.Controlled{Length: window.FixedLength(4)},
+		Arrivals: []float64{2.0},
+		Start:    4,
+	}
+	tr, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	axis := tr.RenderAxis(0, tr.End, 40)
+	if !strings.Contains(axis, "#") {
+		t.Fatalf("axis has no cleared region: %s", axis)
+	}
+	if !strings.HasSuffix(axis, "|") {
+		t.Fatal("axis not terminated")
+	}
+	if tr.RenderAxis(5, 5, 40) != "" {
+		t.Fatal("degenerate range should render empty")
+	}
+	// Tiny width is clamped.
+	if len(tr.RenderAxis(0, tr.End, 1)) < 11 {
+		t.Fatal("width clamp failed")
+	}
+}
+
+func TestRenderPseudoTime(t *testing.T) {
+	cfg := Config{
+		Policy:   window.LCFS{Length: window.FixedLength(3)},
+		Arrivals: []float64{1, 5},
+		Start:    6,
+		MaxSteps: 10,
+	}
+	tr, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tr.RenderPseudoTime(0, tr.End, 60)
+	if !strings.Contains(out, "actual:") || !strings.Contains(out, "pseudo:") {
+		t.Fatalf("missing axes:\n%s", out)
+	}
+	// The pseudo line must be shorter than the actual line when anything
+	// was examined (compression).
+	lines := strings.Split(out, "\n")
+	if len(lines) < 2 {
+		t.Fatal("missing second axis")
+	}
+	actualDots := strings.Count(lines[0], ".") + strings.Count(lines[0], "#")
+	pseudoDots := strings.Count(lines[1], ".")
+	if pseudoDots >= actualDots {
+		t.Fatalf("no compression visible:\n%s", out)
+	}
+	if tr.RenderPseudoTime(3, 3, 40) != "" {
+		t.Fatal("degenerate range should render empty")
+	}
+}
+
+func TestEmptyArrivals(t *testing.T) {
+	cfg := Config{
+		Policy: window.Controlled{Length: window.FixedLength(4)},
+	}
+	tr, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 0 || len(tr.Sent) != 0 {
+		t.Fatal("empty scenario produced activity")
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("missing policy accepted")
+	}
+	if _, err := Run(Config{Policy: window.Controlled{}}); err == nil {
+		t.Fatal("invalid policy accepted")
+	}
+	if _, err := Run(Config{
+		Policy:   window.Controlled{Length: window.FixedLength(1)},
+		Arrivals: []float64{5},
+		Start:    3,
+	}); err == nil {
+		t.Fatal("arrival after start accepted")
+	}
+}
+
+func TestMaxStepsBound(t *testing.T) {
+	cfg := Config{
+		Policy:   window.FCFS{Length: window.FixedLength(0.5)},
+		Arrivals: []float64{1, 2, 3, 4, 5, 6, 7},
+		Start:    8,
+		MaxSteps: 3,
+	}
+	tr, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) > 3+2 { // one process may finish its last steps
+		t.Fatalf("MaxSteps ignored: %d events", len(tr.Events))
+	}
+}
+
+// Golden trace: the exact probe sequence for a deterministic scenario,
+// pinned so any engine change that alters protocol behaviour is caught.
+func TestGoldenTrace(t *testing.T) {
+	cfg := Config{
+		Policy:   window.Controlled{Length: window.FixedLength(8)},
+		Arrivals: []float64{2.2, 3.7},
+		Start:    8,
+		M:        4,
+	}
+	tr, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type probe struct {
+		w  window.Window
+		fb window.Feedback
+	}
+	want := []probe{
+		{window.Window{Start: 0, End: 8}, window.Collision},
+		{window.Window{Start: 0, End: 4}, window.Collision},
+		{window.Window{Start: 0, End: 2}, window.Idle},
+		{window.Window{Start: 2, End: 3}, window.Success}, // 2.2 isolated
+		// Second process picks up from t_past = 3.
+	}
+	if len(tr.Events) < len(want) {
+		t.Fatalf("only %d events", len(tr.Events))
+	}
+	for i, w := range want {
+		if tr.Events[i].Enabled != w.w || tr.Events[i].Outcome != w.fb {
+			t.Fatalf("event %d: got %v %v, want %v %v",
+				i, tr.Events[i].Enabled, tr.Events[i].Outcome, w.w, w.fb)
+		}
+	}
+	if tr.Sent[0] != 2.2 || tr.Sent[1] != 3.7 {
+		t.Fatalf("sent %v", tr.Sent)
+	}
+}

@@ -1,0 +1,61 @@
+package window
+
+import (
+	"fmt"
+	"math"
+)
+
+// RateEstimator estimates the network-wide message arrival rate from the
+// protocol's own observations, so that the element-(2) window-length rule
+// can be applied without knowing λ′ a priori — every station sees the
+// same channel feedback, so every station's estimator stays identical and
+// the common-decision property is preserved.
+//
+// The estimate is an exponentially weighted density: each completed
+// windowing process proves some measure of time clear while transmitting
+// some number of messages out of it; the ratio is an unbiased density
+// sample for the examined region (messages discarded by element (4) died
+// in *unexamined* time, which never enters the estimate, so the content
+// density the window sizing needs — that of still-alive regions — is what
+// is being measured).
+type RateEstimator struct {
+	rate     float64
+	halfLife float64
+	seeded   bool
+}
+
+// NewRateEstimator creates an estimator starting from the initial guess;
+// halfLife is the examined-time measure over which old observations lose
+// half their weight.
+func NewRateEstimator(initial, halfLife float64) *RateEstimator {
+	if initial <= 0 || halfLife <= 0 {
+		panic(fmt.Sprintf("window: invalid estimator parameters (%v, %v)", initial, halfLife))
+	}
+	return &RateEstimator{rate: initial, halfLife: halfLife}
+}
+
+// Observe folds in one completed windowing process: messages transmitted
+// out of the given measure of examined time.  Zero-measure observations
+// are ignored.
+func (e *RateEstimator) Observe(messages int, examinedMeasure float64) {
+	if messages < 0 {
+		panic("window: negative message count")
+	}
+	if examinedMeasure <= 0 {
+		return
+	}
+	density := float64(messages) / examinedMeasure
+	decay := math.Exp2(-examinedMeasure / e.halfLife)
+	e.rate = decay*e.rate + (1-decay)*density
+	e.seeded = true
+	// Keep the estimate strictly positive so window lengths stay finite.
+	if e.rate < 1e-12 {
+		e.rate = 1e-12
+	}
+}
+
+// Rate returns the current estimate.
+func (e *RateEstimator) Rate() float64 { return e.rate }
+
+// Seeded reports whether any observation has been folded in.
+func (e *RateEstimator) Seeded() bool { return e.seeded }

@@ -1,0 +1,359 @@
+package window
+
+import (
+	"fmt"
+	"math"
+
+	"windowctl/internal/rngutil"
+)
+
+// View is the protocol state a policy sees when it must make a decision
+// (the paper's §2: a decision is made each time an initial window is
+// selected, and at each split).
+type View struct {
+	// Now is the current time; windows may not extend beyond it.
+	Now float64
+	// TPast is the oldest point in time — never older than the discard
+	// horizon — that may still contain untransmitted arrivals.
+	TPast float64
+	// TNewest is the most recent unexamined time (equals Now except for
+	// policies that leave interior gaps, where it is the supremum of the
+	// unexamined region; for all policies here it is Now).
+	TNewest float64
+	// K is the time constraint; +Inf when no constraint applies.
+	K float64
+	// Tau is the slot time (end-to-end propagation delay).
+	Tau float64
+	// Lambda is the estimated network-wide message arrival rate, used by
+	// window-length rules.
+	Lambda float64
+	// Cleared, when non-nil, exposes the intervals known to contain no
+	// untransmitted arrivals, letting policies measure and skip gaps
+	// (pseudo-time placement).  Policies must treat it as read-only.
+	Cleared *IntervalSet
+	// MinSplitLen, when positive, makes the windowing process give up
+	// (end without success) instead of splitting a window shorter than
+	// this.  A perfectly synchronized network never needs it — splitting
+	// always terminates on distinct arrival times — but stations with
+	// inconsistent views (clock skew, heterogeneous window sizes) can
+	// produce *phantom* collisions whose resolution would otherwise split
+	// empty windows forever.
+	MinSplitLen float64
+}
+
+// LengthRule chooses the initial window length (the paper's policy element
+// (2)) from the current view.  The returned value is clamped by the caller
+// so the window never extends beyond View.Now.
+type LengthRule func(v View) float64
+
+// FixedG returns a LengthRule choosing length g/λ, i.e. holding the mean
+// number of arrivals per initial window at g.  The element-(2) heuristic of
+// §4 computes the g minimizing mean scheduling time (see internal/sched);
+// this rule applies such a precomputed g.
+func FixedG(g float64) LengthRule {
+	if g <= 0 {
+		panic("window: FixedG requires g > 0")
+	}
+	return func(v View) float64 {
+		if v.Lambda <= 0 {
+			return math.Inf(1) // no rate information: take everything offered
+		}
+		return g / v.Lambda
+	}
+}
+
+// FixedLength returns a LengthRule with a constant window length.
+func FixedLength(l float64) LengthRule {
+	if l <= 0 {
+		panic("window: FixedLength requires l > 0")
+	}
+	return func(View) float64 { return l }
+}
+
+// Policy supplies the four control elements of §2.  Implementations must
+// be deterministic functions of their inputs (plus, for the Random policy,
+// an explicitly seeded common random sequence) so every station makes the
+// same decision from the same feedback.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// InitialWindow chooses the initial window (elements (1) and (2)).
+	// The engine clamps the result to end no later than v.Now.
+	InitialWindow(v View) Window
+	// ChooseSide picks which part of a split window to enable first
+	// (element (3)); depth counts splits within the current windowing
+	// process, starting at 0.
+	ChooseSide(v View, w Window, depth int) Side
+	// SplitFraction gives the cut point of a split as a fraction of the
+	// window (the paper always halves; the §5 extension explores others).
+	SplitFraction(v View, w Window, depth int) float64
+	// Discards reports whether element (4) is in force: senders discard
+	// messages whose delay already exceeds K.
+	Discards() bool
+}
+
+// ---------------------------------------------------------------------------
+// Controlled — the paper's optimal policy (Theorem 1 + element (4))
+// ---------------------------------------------------------------------------
+
+// Controlled is the paper's optimal control policy: the initial window
+// begins at TPast (the point closest to, but not exceeding, K in the past
+// that may contain untransmitted messages), the older half of a split is
+// enabled first, and messages older than K are discarded at the sender.
+// Transmitted messages therefore leave in global FCFS order and every
+// transmitted message meets its deadline (§3.2, Theorem 1).
+type Controlled struct {
+	// Length is the element-(2) rule; required.
+	Length LengthRule
+	// Fraction is the split fraction; 0 means the paper's ½.
+	Fraction float64
+}
+
+// Name implements Policy.
+func (c Controlled) Name() string { return "controlled" }
+
+// InitialWindow implements Policy.
+func (c Controlled) InitialWindow(v View) Window {
+	l := c.Length(v)
+	return Window{Start: v.TPast, End: v.TPast + l}
+}
+
+// ChooseSide implements Policy: always the older half (Theorem 1).
+func (c Controlled) ChooseSide(View, Window, int) Side { return Older }
+
+// SplitFraction implements Policy.
+func (c Controlled) SplitFraction(View, Window, int) float64 {
+	if c.Fraction > 0 {
+		return c.Fraction
+	}
+	return 0.5
+}
+
+// Discards implements Policy: element (4) is in force.
+func (c Controlled) Discards() bool { return true }
+
+// ---------------------------------------------------------------------------
+// FCFS — the uncontrolled global-FCFS baseline of [Kurose 83]
+// ---------------------------------------------------------------------------
+
+// FCFS is the [Kurose 83] baseline providing network-wide first-come
+// first-served order: windows start at the oldest unexamined time and the
+// older half of a split goes first, but *every* message is eventually
+// transmitted — messages late for their deadline still consume the channel
+// and are discarded only at the receiver.
+type FCFS struct {
+	// Length is the element-(2) rule; required.
+	Length LengthRule
+}
+
+// Name implements Policy.
+func (f FCFS) Name() string { return "fcfs" }
+
+// InitialWindow implements Policy.
+func (f FCFS) InitialWindow(v View) Window {
+	l := f.Length(v)
+	return Window{Start: v.TPast, End: v.TPast + l}
+}
+
+// ChooseSide implements Policy.
+func (f FCFS) ChooseSide(View, Window, int) Side { return Older }
+
+// SplitFraction implements Policy.
+func (f FCFS) SplitFraction(View, Window, int) float64 { return 0.5 }
+
+// Discards implements Policy.
+func (f FCFS) Discards() bool { return false }
+
+// ---------------------------------------------------------------------------
+// LCFS — the uncontrolled global-LCFS baseline of [Kurose 83]
+// ---------------------------------------------------------------------------
+
+// LCFS is the [Kurose 83] baseline providing network-wide last-come
+// first-served order: the initial window ends at the most recent
+// unexamined instant and covers the newest Length's worth of *unexamined*
+// time — cleared gaps are skipped over, so the policy is last-come
+// first-served on the pseudo-time axis of §3.1.  The newer part of a
+// split is enabled first.  Measuring the window in unexamined time keeps
+// the protocol work-conserving: old pending messages are eventually swept
+// up during idle periods instead of starving behind cleared fresh time,
+// as [Kurose 83] requires (all messages are eventually transmitted).
+type LCFS struct {
+	// Length is the element-(2) rule; required.
+	Length LengthRule
+}
+
+// Name implements Policy.
+func (l LCFS) Name() string { return "lcfs" }
+
+// InitialWindow implements Policy.
+func (l LCFS) InitialWindow(v View) Window {
+	ln := l.Length(v)
+	start := v.TNewest - ln
+	if v.Cleared != nil {
+		start = v.Cleared.StartForUncoveredMeasure(v.TPast, v.TNewest, ln)
+	}
+	if start < v.TPast {
+		start = v.TPast
+	}
+	return Window{Start: start, End: v.TNewest}
+}
+
+// ChooseSide implements Policy.
+func (l LCFS) ChooseSide(View, Window, int) Side { return Newer }
+
+// SplitFraction implements Policy.
+func (l LCFS) SplitFraction(View, Window, int) float64 { return 0.5 }
+
+// Discards implements Policy.
+func (l LCFS) Discards() bool { return false }
+
+// ---------------------------------------------------------------------------
+// Random — the RANDOM-order baseline of [Kurose 83]
+// ---------------------------------------------------------------------------
+
+// Random is the [Kurose 83] baseline that schedules messages in an order
+// uncorrelated with their arrival times: the initial window is placed
+// uniformly at random in the unexamined span and each split side is a fair
+// coin flip.  All stations must be given the *same* seed so the common
+// random sequence keeps them in lockstep (common randomness substitutes
+// for the shared deterministic rule of the other policies).
+type Random struct {
+	// Length is the element-(2) rule; required.
+	Length LengthRule
+	// Rng is the common random sequence shared by all stations; required.
+	Rng *rngutil.Stream
+}
+
+// Name implements Policy.
+func (r Random) Name() string { return "random" }
+
+// InitialWindow implements Policy.
+func (r Random) InitialWindow(v View) Window {
+	l := r.Length(v)
+	span := v.TNewest - v.TPast
+	if l >= span {
+		return Window{Start: v.TPast, End: v.TNewest}
+	}
+	start := v.TPast + r.Rng.Float64()*(span-l)
+	return Window{Start: start, End: start + l}
+}
+
+// ChooseSide implements Policy.
+func (r Random) ChooseSide(View, Window, int) Side {
+	if r.Rng.Bernoulli(0.5) {
+		return Older
+	}
+	return Newer
+}
+
+// SplitFraction implements Policy.
+func (r Random) SplitFraction(View, Window, int) float64 { return 0.5 }
+
+// Discards implements Policy.
+func (r Random) Discards() bool { return false }
+
+// ---------------------------------------------------------------------------
+// ControlledVariant — deliberately sub-optimal, for Theorem-1 ablations
+// ---------------------------------------------------------------------------
+
+// ControlledVariant keeps policy element (4) (sender discard) but lets the
+// Theorem-1 elements be degraded: the initial window may start later than
+// t_past (a position lag) and the newer half of a split may be enabled
+// first.  Theorem 1 predicts every such variant loses at least as many
+// messages as Controlled; the tests and ablation benches verify that
+// empirically on the actual (not pseudo) loss.
+type ControlledVariant struct {
+	// Length is the element-(2) rule; required.
+	Length LengthRule
+	// Side selects which half of a split to enable first.
+	Side Side
+	// PositionLag shifts the initial window start to TPast + PositionLag
+	// (clamped so the window still fits); 0 reproduces the optimal
+	// position.
+	PositionLag float64
+}
+
+// Name implements Policy.
+func (c ControlledVariant) Name() string {
+	return fmt.Sprintf("controlled-variant(side=%v,lag=%g)", c.Side, c.PositionLag)
+}
+
+// InitialWindow implements Policy.
+func (c ControlledVariant) InitialWindow(v View) Window {
+	l := c.Length(v)
+	start := v.TPast + c.PositionLag
+	if start+l > v.TNewest {
+		start = v.TNewest - l
+	}
+	if start < v.TPast {
+		start = v.TPast
+	}
+	return Window{Start: start, End: start + l}
+}
+
+// ChooseSide implements Policy.
+func (c ControlledVariant) ChooseSide(View, Window, int) Side { return c.Side }
+
+// SplitFraction implements Policy.
+func (c ControlledVariant) SplitFraction(View, Window, int) float64 { return 0.5 }
+
+// Discards implements Policy: element (4) stays in force.
+func (c ControlledVariant) Discards() bool { return true }
+
+// ForkablePolicy is implemented by policies that carry per-run mutable
+// state (a common random sequence).  Fork returns an independent replica
+// that will make exactly the same future decision sequence, so that each
+// station in a distributed simulation can hold its own copy and stay in
+// lockstep — modelling stations that agreed on a shared pseudo-random
+// seed.
+type ForkablePolicy interface {
+	Policy
+	// Fork replicates the policy at its current state.
+	Fork() Policy
+}
+
+// Fork implements ForkablePolicy.
+func (r Random) Fork() Policy {
+	return Random{Length: r.Length, Rng: r.Rng.Clone()}
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+// Validate checks a policy's static configuration, returning an error for
+// missing required fields.  The engine calls it once at start-up.
+func Validate(p Policy) error {
+	switch q := p.(type) {
+	case Controlled:
+		if q.Length == nil {
+			return fmt.Errorf("window: Controlled policy needs a Length rule")
+		}
+		if q.Fraction < 0 || q.Fraction >= 1 {
+			return fmt.Errorf("window: Controlled split fraction %v outside [0,1)", q.Fraction)
+		}
+	case FCFS:
+		if q.Length == nil {
+			return fmt.Errorf("window: FCFS policy needs a Length rule")
+		}
+	case LCFS:
+		if q.Length == nil {
+			return fmt.Errorf("window: LCFS policy needs a Length rule")
+		}
+	case Random:
+		if q.Length == nil {
+			return fmt.Errorf("window: Random policy needs a Length rule")
+		}
+		if q.Rng == nil {
+			return fmt.Errorf("window: Random policy needs a common Rng")
+		}
+	case ControlledVariant:
+		if q.Length == nil {
+			return fmt.Errorf("window: ControlledVariant policy needs a Length rule")
+		}
+		if q.PositionLag < 0 {
+			return fmt.Errorf("window: negative position lag %v", q.PositionLag)
+		}
+	}
+	return nil
+}
