@@ -21,6 +21,7 @@ import (
 	"testing"
 
 	"windowctl"
+	"windowctl/internal/numerics"
 	"windowctl/internal/queueing"
 	"windowctl/internal/sim"
 	"windowctl/internal/smdp"
@@ -61,6 +62,80 @@ func BenchmarkFigure7(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkFigure7AllPanels regenerates the whole figure — all six panels
+// with baselines — through the multi-panel driver, sequentially and over
+// the default worker pool.  The two variants produce bit-identical panels
+// (asserted by the sim package's determinism test); compare their ns/op
+// for the parallel speedup.
+func BenchmarkFigure7AllPanels(b *testing.B) {
+	specs := windowctl.AllFigure7Panels()
+	opt := windowctl.Figure7Options{
+		Seed:      7,
+		Baselines: true,
+		EndTime:   benchSimEnd,
+		Warmup:    benchSimEnd / 10,
+	}
+	for _, c := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			o := opt
+			o.Workers = c.workers
+			for i := 0; i < b.N; i++ {
+				if _, err := windowctl.Figure7Panels(specs, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure7Analytic times the batched analytic evaluation of one
+// panel's three curves (the shared-convolution multi-K path behind
+// Figure7Panel) and reports the FFT convolutions per panel; compare with
+// BenchmarkFigure7AnalyticPerK, the one-series-per-point evaluation it
+// replaces.
+func BenchmarkFigure7Analytic(b *testing.B) {
+	model := queueing.ProtocolModel{Tau: 1, M: 25, RhoPrime: 0.75}
+	var ks []float64
+	for _, km := range sim.DefaultKOverM {
+		ks = append(ks, km*25)
+	}
+	before := numerics.ConvolveFFTCount()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.LossGrids(ks); err != nil {
+			b.Fatal(err)
+		}
+	}
+	convs := numerics.ConvolveFFTCount() - before
+	b.ReportMetric(float64(convs)/float64(b.N), "convs/op")
+}
+
+// BenchmarkFigure7AnalyticPerK evaluates the same panel point by point,
+// paying one convolution series per (constraint, curve).
+func BenchmarkFigure7AnalyticPerK(b *testing.B) {
+	model := queueing.ProtocolModel{Tau: 1, M: 25, RhoPrime: 0.75}
+	before := numerics.ConvolveFFTCount()
+	for i := 0; i < b.N; i++ {
+		for _, km := range sim.DefaultKOverM {
+			k := km * 25
+			if _, err := model.ControlledLoss(k); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := model.FCFSLoss(k); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := model.LCFSLoss(k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	convs := numerics.ConvolveFFTCount() - before
+	b.ReportMetric(float64(convs)/float64(b.N), "convs/op")
 }
 
 // BenchmarkEq47Limits exercises the analytic limit checks the paper uses

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	figures [-panel all|RHO,M] [-sim] [-baselines] [-messages N] [-seed S]
+//	        [-parallel] [-workers N]
 //
 // Examples:
 //
@@ -14,6 +15,11 @@
 //	figures -sim                   # with controlled-protocol simulation
 //	figures -sim -baselines        # also simulate FCFS and LCFS
 //	figures -panel 0.75,25 -sim    # a single panel
+//	figures -sim -parallel=false   # force sequential evaluation
+//
+// Evaluation is parallel by default: the per-panel analytic solves and
+// per-(constraint, protocol) simulation runs are fanned over a bounded
+// worker pool.  The output is bit-identical to -parallel=false.
 package main
 
 import (
@@ -33,6 +39,8 @@ func main() {
 	chartFlag := flag.Bool("chart", false, "render each panel as an ASCII chart too")
 	messages := flag.Float64("messages", 1e5, "approximate offered messages per simulation run")
 	seed := flag.Uint64("seed", 1983, "simulation seed")
+	parallel := flag.Bool("parallel", true, "evaluate panels over a worker pool (output is identical either way)")
+	workers := flag.Int("workers", 0, "worker count for -parallel (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	specs, err := selectPanels(*panelFlag)
@@ -40,22 +48,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(2)
 	}
-	for _, spec := range specs {
-		opt := windowctl.Figure7Options{
-			Disable:   !*simFlag && !*baseFlag,
-			Baselines: *baseFlag,
-			Seed:      *seed,
-		}
-		if !opt.Disable {
-			lambda := spec.RhoPrime / spec.M
-			opt.EndTime = *messages / lambda
-			opt.Warmup = opt.EndTime / 20
-		}
-		panel, err := windowctl.Figure7Panel(spec, opt)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
-		}
+	opt := windowctl.Figure7Options{
+		Disable:   !*simFlag && !*baseFlag,
+		Baselines: *baseFlag,
+		Messages:  *messages,
+		Seed:      *seed,
+		Workers:   *workers,
+	}
+	if !*parallel {
+		opt.Workers = 1
+	}
+	panels, err := windowctl.Figure7Panels(specs, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	for _, panel := range panels {
 		fmt.Println(panel.Format())
 		if *chartFlag {
 			fmt.Println(panel.Chart(64, 18))

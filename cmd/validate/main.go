@@ -43,6 +43,25 @@ func main() {
 		{0.50, 100, 1},
 	}
 
+	// Solve eq 4.7 once per (rho', M) group through the batched multi-K
+	// solver: all of a group's constraints share one convolution series.
+	type group struct{ rho, m float64 }
+	gridKs := map[group][]float64{}
+	for _, pt := range points {
+		g := group{pt.rho, float64(pt.m)}
+		gridKs[g] = append(gridKs[g], pt.km*float64(pt.m))
+	}
+	eq47 := map[group][]queueing.Result{}
+	for g, ks := range gridKs {
+		model := queueing.ProtocolModel{Tau: 1, M: g.m, RhoPrime: g.rho}
+		res, err := model.ControlledLossGrid(ks)
+		if err != nil {
+			fail(err)
+		}
+		eq47[g] = res
+	}
+	gridPos := map[group]int{}
+
 	fmt.Printf("%8s %5s %5s | %9s %9s %9s %9s | %9s  %s\n",
 		"rho'", "M", "K/M", "smdp", "eq4.7", "coupled", "ode", "sim", "verdict")
 	failures := 0
@@ -61,12 +80,11 @@ func main() {
 			fail(err)
 		}
 
-		// §4 queueing model, plain and coupled.
+		// §4 queueing model, plain (from the batched grid) and coupled.
+		g := group{pt.rho, float64(pt.m)}
+		plain := eq47[g][gridPos[g]]
+		gridPos[g]++
 		model := queueing.ProtocolModel{Tau: 1, M: float64(pt.m), RhoPrime: pt.rho}
-		plain, err := model.ControlledLoss(k)
-		if err != nil {
-			fail(err)
-		}
 		curve, err := model.ControlledLossCurve([]float64{k / 2, k})
 		if err != nil {
 			fail(err)

@@ -146,10 +146,87 @@ func TestConvolveFFTEquivalenceProperty(t *testing.T) {
 	}
 }
 
+// The Convolver plan must reproduce ConvolveFFT exactly: it caches the
+// kernel transform but performs the same arithmetic.
+func TestConvolverMatchesConvolveFFT(t *testing.T) {
+	step, n := 0.01, 700
+	f := Tabulate(func(x float64) float64 { return math.Exp(-x) }, step, n)
+	h := Tabulate(func(x float64) float64 { return 2 * math.Exp(-2*x) }, step, n)
+	want := f.ConvolveFFT(h)
+	cv := NewConvolver(h)
+	got := cv.Convolve(f)
+	for i := 0; i < n; i++ {
+		if got.Y[i] != want.Y[i] {
+			t.Fatalf("plan result differs at %d: %v vs %v", i, got.Y[i], want.Y[i])
+		}
+	}
+	// Repeated application through the same plan stays exact (scratch is
+	// reused across calls).
+	want2 := want.ConvolveFFT(h)
+	got2 := cv.Convolve(got)
+	for i := 0; i < n; i++ {
+		if got2.Y[i] != want2.Y[i] {
+			t.Fatalf("second application differs at %d: %v vs %v", i, got2.Y[i], want2.Y[i])
+		}
+	}
+}
+
+// In-place aliasing (dst == g) is the zero-allocation mode used by the
+// series loops; it must agree with the out-of-place result.
+func TestConvolverInPlaceAliasing(t *testing.T) {
+	step, n := 0.02, 300
+	h := Tabulate(func(x float64) float64 { return math.Exp(-x / 2) }, step, n)
+	cv := NewConvolver(h)
+	conv := h.Clone()
+	want := h.Clone()
+	for iter := 0; iter < 5; iter++ {
+		want = cv.Convolve(want)
+		cv.ConvolveInto(conv, conv)
+		for i := 0; i < n; i++ {
+			if conv.Y[i] != want.Y[i] {
+				t.Fatalf("iteration %d: aliased result differs at %d: %v vs %v",
+					iter, i, conv.Y[i], want.Y[i])
+			}
+		}
+	}
+}
+
+func TestConvolverPanicsOnShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch accepted")
+		}
+	}()
+	NewConvolver(NewGrid(1, 8)).Convolve(NewGrid(1, 9))
+}
+
+func TestConvolveFFTCountAdvances(t *testing.T) {
+	h := Tabulate(func(x float64) float64 { return math.Exp(-x) }, 0.1, 64)
+	before := ConvolveFFTCount()
+	h.ConvolveFFT(h)
+	NewConvolver(h).Convolve(h)
+	if got := ConvolveFFTCount() - before; got < 2 {
+		t.Fatalf("counter advanced by %d, want >= 2", got)
+	}
+}
+
 func BenchmarkConvolveFFT(b *testing.B) {
 	f := Tabulate(func(x float64) float64 { return math.Exp(-x) }, 0.01, 4096)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = f.ConvolveFFT(f)
+	}
+}
+
+// BenchmarkConvolverInPlace measures the planned, buffer-reusing path the
+// eq 4.7 series loops run per term; compare against BenchmarkConvolveFFT.
+func BenchmarkConvolverInPlace(b *testing.B) {
+	f := Tabulate(func(x float64) float64 { return math.Exp(-x) }, 0.01, 4096)
+	cv := NewConvolver(f)
+	conv := f.Clone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cv.ConvolveInto(conv, conv)
 	}
 }

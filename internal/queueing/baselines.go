@@ -96,6 +96,7 @@ func (q MG1) WaitCDF(ws []float64) ([]float64, error) {
 		sums[j] = 1 // i = 0 atom at zero
 	}
 	conv := beta.Clone()
+	plan := numerics.NewConvolver(beta)
 	pow := rho
 	const tol = 1e-12
 	for i := 1; i <= maxTerms; i++ {
@@ -109,7 +110,7 @@ func (q MG1) WaitCDF(ws []float64) ([]float64, error) {
 		if i == maxTerms {
 			return nil, fmt.Errorf("queueing: Beneš series did not converge in %d terms", maxTerms)
 		}
-		conv = conv.ConvolveFFT(beta)
+		plan.ConvolveInto(conv, conv)
 		pow *= rho
 	}
 	out := make([]float64, len(ws))
@@ -132,6 +133,64 @@ func (q MG1) LossFCFS(k float64) (float64, error) {
 		return 0, err
 	}
 	return 1 - cdf[0], nil
+}
+
+// LossFCFSGrid returns P(W > K) for every constraint of ks at the cost of
+// one Beneš series per shared quadrature grid instead of one per
+// constraint (see ImpatientMG1.SolveGrid for the partitioning rule; the
+// i-fold convolutions β⁽ⁱ⁾ are K-independent, so constraints on the same
+// grid share them).  Results match per-K LossFCFS to rounding error.
+func (q MG1) LossFCFSGrid(ks []float64) ([]float64, error) {
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	for _, k := range ks {
+		if k < 0 {
+			return nil, fmt.Errorf("queueing: negative constraint %v", k)
+		}
+	}
+	rho := q.Rho()
+	xbar := q.Service.Mean()
+	out := make([]float64, len(ks))
+	var zero []int // K = 0 constraints: P(W <= 0) = 1 − ρ exactly
+	var pos []int
+	for i, k := range ks {
+		if k == 0 {
+			zero = append(zero, i)
+		} else {
+			pos = append(pos, i)
+		}
+	}
+	for _, i := range zero {
+		out[i] = rho
+	}
+	for _, batch := range partitionConstraints(ks, pos, q.Step, xbar) {
+		kMax := 0.0
+		for _, i := range batch.idx {
+			if ks[i] > kMax {
+				kMax = ks[i]
+			}
+		}
+		n := int(kMax/batch.step) + 2
+		beta := numerics.Tabulate(func(u float64) float64 {
+			return (1 - q.Service.CDF(u)) / xbar
+		}, batch.step, n)
+		reqs := make([]*seriesReq, len(batch.idx))
+		for j, i := range batch.idx {
+			reqs[j] = &seriesReq{k: ks[i], tol: 1e-12}
+		}
+		if err := runSeries(rho, beta, q.MaxTerms, reqs); err != nil {
+			return nil, err
+		}
+		for j, i := range batch.idx {
+			cdf := (1 - rho) * reqs[j].sum
+			if cdf > 1 {
+				cdf = 1
+			}
+			out[i] = 1 - cdf
+		}
+	}
+	return out, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -223,6 +282,25 @@ func (q MG1) LossLCFS(k float64) (float64, error) {
 		return 0, err
 	}
 	return 1 - cdf, nil
+}
+
+// LossLCFSGrid returns P(W > K) for every constraint of ks.  The LCFS law
+// is inverted per constraint (Euler inversion has no cross-K sharing), but
+// the batched entry point validates once and matches the other *Grid
+// solvers so callers can evaluate a whole panel curve in one call.
+func (q MG1) LossLCFSGrid(ks []float64) ([]float64, error) {
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(ks))
+	for i, k := range ks {
+		loss, err := q.LossLCFS(k)
+		if err != nil {
+			return nil, fmt.Errorf("queueing: LCFS loss at K=%v: %w", k, err)
+		}
+		out[i] = loss
+	}
+	return out, nil
 }
 
 // MeanWaitLCFS integrates the LCFS waiting tail numerically:

@@ -66,25 +66,65 @@ type Result struct {
 // the impatient queue is stable for any ρ, and the series converges for
 // ρ ≥ 1 too because ∫₀ᴷβ⁽ⁱ⁾ eventually decays super-geometrically.
 func (q ImpatientMG1) Solve(k float64) (Result, error) {
-	if err := q.validate(k); err != nil {
-		return Result{}, err
-	}
-	xbar := q.Service.Mean()
-	rho := q.Lambda * xbar
-	z, terms, err := q.seriesZ(k)
+	res, err := q.SolveGrid([]float64{k})
 	if err != nil {
 		return Result{}, err
 	}
-	// p(loss) = 1 − z/(1+ρz); equivalently the paper's 1 − ρ⁻¹ + 1/(ρ+ρ²z).
-	loss := 1 - z/(1+rho*z)
-	p0 := 1 / (1 + rho*z) // from ρ·p(accept) = 1 − P(0) and p(accept) = P(0)·z
-	if loss < 0 {
-		loss = 0
+	return res[0], nil
+}
+
+// SolveGrid computes equation 4.7 at every constraint of ks in one pass:
+// the i-fold convolutions β⁽ⁱ⁾ do not depend on K, so one shared series
+// feeds the prefix integrals ∫₀ᵏʲ β⁽ⁱ⁾ of every constraint, and a grid of
+// constraints costs one convolution series instead of len(ks).  Results
+// match per-K Solve to rounding error: constraints are partitioned onto
+// exactly the quadrature grids Solve would have chosen (with the automatic
+// spacing, every constraint at or above the mean service time shares one
+// grid; shorter constraints keep their own finer grid), and each
+// constraint stops accumulating by its own per-K stopping rule.
+func (q ImpatientMG1) SolveGrid(ks []float64) ([]Result, error) {
+	if len(ks) == 0 {
+		return nil, nil
 	}
-	if loss > 1 {
-		loss = 1
+	for _, k := range ks {
+		if err := q.validate(k); err != nil {
+			return nil, err
+		}
 	}
-	return Result{Loss: loss, ServerIdle: p0, Rho: rho, Z: z, Terms: terms}, nil
+	xbar := q.Service.Mean()
+	rho := q.Lambda * xbar
+	out := make([]Result, len(ks))
+	for _, batch := range partitionConstraints(ks, nil, q.Step, xbar) {
+		kMax := 0.0
+		for _, i := range batch.idx {
+			if ks[i] > kMax {
+				kMax = ks[i]
+			}
+		}
+		beta := q.residualGridStep(kMax, batch.step)
+		reqs := make([]*seriesReq, len(batch.idx))
+		for n, i := range batch.idx {
+			reqs[n] = &seriesReq{k: ks[i], clamp: true, tol: 1e-10, rhoGuard: true}
+		}
+		if err := runSeries(rho, beta, q.MaxTerms, reqs); err != nil {
+			return nil, err
+		}
+		for n, i := range batch.idx {
+			z := reqs[n].sum
+			// p(loss) = 1 − z/(1+ρz); equivalently the paper's
+			// 1 − ρ⁻¹ + 1/(ρ+ρ²z).
+			loss := 1 - z/(1+rho*z)
+			p0 := 1 / (1 + rho*z) // ρ·p(accept) = 1 − P(0), p(accept) = P(0)·z
+			if loss < 0 {
+				loss = 0
+			}
+			if loss > 1 {
+				loss = 1
+			}
+			out[i] = Result{Loss: loss, ServerIdle: p0, Rho: rho, Z: z, Terms: reqs[n].terms}
+		}
+	}
+	return out, nil
 }
 
 func (q ImpatientMG1) validate(k float64) error {
@@ -110,56 +150,16 @@ func (q ImpatientMG1) residualGrid(k float64) *numerics.Grid {
 	if step <= 0 {
 		step = math.Min(k, q.Service.Mean()) / 512
 	}
+	return q.residualGridStep(k, step)
+}
+
+// residualGridStep tabulates β on [0, k] at an explicit spacing.
+func (q ImpatientMG1) residualGridStep(k, step float64) *numerics.Grid {
 	n := int(k/step) + 2
 	xbar := q.Service.Mean()
 	return numerics.Tabulate(func(w float64) float64 {
 		return (1 - q.Service.CDF(w)) / xbar
 	}, step, n)
-}
-
-// seriesZ evaluates z(K, ρ) = Σ ρ^i ∫₀ᴷ β⁽ⁱ⁾.
-func (q ImpatientMG1) seriesZ(k float64) (float64, int, error) {
-	maxTerms := q.MaxTerms
-	if maxTerms <= 0 {
-		maxTerms = 4096
-	}
-	rho := q.Lambda * q.Service.Mean()
-	beta := q.residualGrid(k)
-	const tol = 1e-10
-
-	sum := 1.0 // i = 0 term: unit atom at 0
-	conv := beta.Clone()
-	pow := rho
-	terms := 1
-	// a₁ = ∫₀ᴷ β; the masses a_i are non-increasing (each convolution with
-	// a sub-probability density on [0,K] cannot increase truncated mass),
-	// so once ρ·a_i < 1 the tail is geometrically dominated.
-	prevMass := 1.0
-	for i := 1; i <= maxTerms; i++ {
-		mass := conv.IntegralTo(k)
-		// Trapezoid quadrature over service laws with atoms (the
-		// geometric-lattice scheduling component) can overshoot the true
-		// mass by O(step); the true masses are provably non-increasing,
-		// so clamp rather than propagate the quadrature wiggle.
-		if mass > prevMass {
-			mass = prevMass
-		}
-		prevMass = mass
-		term := pow * mass
-		sum += term
-		terms = i + 1
-		// Tail bound: a_{i+j} <= a_i · a₁^j is valid but a₁ can exceed
-		// 1/ρ early on; stop when the current term is tiny and decaying.
-		if term < tol && (rho < 1 || mass < 1/(2*rho)) {
-			break
-		}
-		if i == maxTerms {
-			return 0, 0, fmt.Errorf("queueing: z-series did not converge in %d terms (last=%v)", maxTerms, term)
-		}
-		conv = conv.ConvolveFFT(beta)
-		pow *= rho
-	}
-	return sum, terms, nil
 }
 
 // AcceptedWaitCDF returns the waiting-time distribution of *accepted*
@@ -189,6 +189,7 @@ func (q ImpatientMG1) AcceptedWaitCDF(k float64, ws []float64) ([]float64, error
 	}
 	zK := 1.0
 	conv := beta.Clone()
+	plan := numerics.NewConvolver(beta)
 	pow := rho
 	for i := 1; i <= maxTerms; i++ {
 		mass := conv.IntegralTo(k)
@@ -200,7 +201,7 @@ func (q ImpatientMG1) AcceptedWaitCDF(k float64, ws []float64) ([]float64, error
 		if term < 1e-10 && (rho < 1 || mass < 1/(2*rho)) {
 			break
 		}
-		conv = conv.ConvolveFFT(beta)
+		plan.ConvolveInto(conv, conv)
 		pow *= rho
 	}
 	out := make([]float64, len(ws))

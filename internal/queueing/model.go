@@ -2,6 +2,7 @@ package queueing
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"windowctl/internal/dist"
@@ -170,6 +171,229 @@ func (m ProtocolModel) ControlledLoss(k float64) (Result, error) {
 	}
 	q := ImpatientMG1{Lambda: m.Lambda(), Service: svc, Step: m.Step}
 	return q.Solve(k)
+}
+
+// ControlledLossGrid evaluates equation 4.7 at every constraint of ks,
+// sharing the convolution series among constraints with the same window
+// content (element (4) caps the window at λ′K below G*, so short
+// constraints carry their own service law while everything at or above
+// G*/λ′ shares one).  Results match per-K ControlledLoss to rounding
+// error; a full figure-7 panel costs one convolution series plus one
+// cheap series per capped constraint instead of one series per point.
+func (m ProtocolModel) ControlledLossGrid(ks []float64) ([]Result, error) {
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(ks))
+	byContent := map[float64][]int{}
+	var order []float64 // deterministic group order
+	for i, k := range ks {
+		if k <= 0 {
+			return nil, fmt.Errorf("queueing: constraint K=%v must be positive", k)
+		}
+		g := m.WindowContent(k)
+		if _, ok := byContent[g]; !ok {
+			order = append(order, g)
+		}
+		byContent[g] = append(byContent[g], i)
+	}
+	for _, g := range order {
+		idx := byContent[g]
+		svc, err := m.Service(g)
+		if err != nil {
+			return nil, err
+		}
+		sub := make([]float64, len(idx))
+		for n, i := range idx {
+			sub[n] = ks[i]
+		}
+		q := ImpatientMG1{Lambda: m.Lambda(), Service: svc, Step: m.Step}
+		res, err := q.SolveGrid(sub)
+		if err != nil {
+			return nil, err
+		}
+		for n, i := range idx {
+			out[i] = res[n]
+		}
+	}
+	return out, nil
+}
+
+// FCFSLossGrid returns the uncontrolled-FCFS loss P(W > K) at every
+// constraint of ks via one shared Beneš series per quadrature grid.
+func (m ProtocolModel) FCFSLossGrid(ks []float64) ([]float64, error) {
+	q, err := m.baselineQueue()
+	if err != nil {
+		return nil, err
+	}
+	return q.LossFCFSGrid(ks)
+}
+
+// LCFSLossGrid returns the uncontrolled-LCFS loss P(W > K) at every
+// constraint of ks, building the baseline queue (and its service law) once.
+func (m ProtocolModel) LCFSLossGrid(ks []float64) ([]float64, error) {
+	q, err := m.baselineQueue()
+	if err != nil {
+		return nil, err
+	}
+	return q.LossLCFSGrid(ks)
+}
+
+// GridLosses carries the three analytic loss curves of one constraint
+// grid — the full analytic content of a figure-7 panel.
+type GridLosses struct {
+	// Controlled is the eq 4.7 result at each constraint.
+	Controlled []Result
+	// FCFS and LCFS are the baseline losses; NaN-filled when the
+	// uncontrolled queue is unstable (ρ ≥ 1, no steady state) or, for
+	// LCFS, when the transform inversion fails at a point.
+	FCFS, LCFS []float64
+}
+
+// LossGrids evaluates all three analytic curves on one constraint grid
+// with maximal convolution sharing: beyond the per-curve batching of
+// ControlledLossGrid and FCFSLossGrid, the eq 4.7 z-series and the FCFS
+// Beneš series integrate powers of the *same* residual density β wherever
+// the controlled window is uncapped (G = G*, the same window content the
+// baselines always use), so both curves ride a single convolution series
+// there.  This is the analytic engine behind sim.Figure7Panel.
+func (m ProtocolModel) LossGrids(ks []float64) (GridLosses, error) {
+	if err := m.validate(); err != nil {
+		return GridLosses{}, err
+	}
+	out := GridLosses{
+		Controlled: make([]Result, len(ks)),
+		FCFS:       make([]float64, len(ks)),
+		LCFS:       make([]float64, len(ks)),
+	}
+	for i, k := range ks {
+		if k <= 0 {
+			return GridLosses{}, fmt.Errorf("queueing: constraint K=%v must be positive", k)
+		}
+		out.FCFS[i] = math.NaN()
+		out.LCFS[i] = math.NaN()
+	}
+	lambda := m.Lambda()
+	gStar := OptimalWindowContent()
+
+	// One service law per distinct window content, built lazily.
+	type lawInfo struct {
+		svc  dist.Distribution
+		xbar float64
+	}
+	laws := map[float64]lawInfo{}
+	lawFor := func(g float64) (lawInfo, error) {
+		if l, ok := laws[g]; ok {
+			return l, nil
+		}
+		svc, err := m.Service(g)
+		if err != nil {
+			return lawInfo{}, err
+		}
+		l := lawInfo{svc: svc, xbar: svc.Mean()}
+		laws[g] = l
+		return l, nil
+	}
+	starLaw, err := lawFor(gStar)
+	if err != nil {
+		return GridLosses{}, err
+	}
+	baselineStable := lambda*starLaw.xbar < 1
+
+	// Bucket the work by (window content, quadrature step): every request
+	// in a bucket shares one β tabulation and one convolution series.
+	type bucketKey struct{ g, step float64 }
+	type bucket struct {
+		key  bucketKey
+		kMax float64
+		ctrl []int // constraint indices wanting the z-series
+		fcfs []int // constraint indices wanting the Beneš series
+	}
+	var buckets []*bucket
+	byKey := map[bucketKey]*bucket{}
+	add := func(g, xbar, k float64, i int, fcfs bool) {
+		step := m.Step
+		if step <= 0 {
+			step = math.Min(k, xbar) / 512
+		}
+		key := bucketKey{g: g, step: step}
+		b, ok := byKey[key]
+		if !ok {
+			b = &bucket{key: key}
+			byKey[key] = b
+			buckets = append(buckets, b)
+		}
+		if k > b.kMax {
+			b.kMax = k
+		}
+		if fcfs {
+			b.fcfs = append(b.fcfs, i)
+		} else {
+			b.ctrl = append(b.ctrl, i)
+		}
+	}
+	for i, k := range ks {
+		g := m.WindowContent(k)
+		law, err := lawFor(g)
+		if err != nil {
+			return GridLosses{}, err
+		}
+		add(g, law.xbar, k, i, false)
+		if baselineStable {
+			add(gStar, starLaw.xbar, k, i, true)
+		}
+	}
+
+	for _, b := range buckets {
+		law := laws[b.key.g]
+		rho := lambda * law.xbar
+		q := ImpatientMG1{Lambda: lambda, Service: law.svc}
+		beta := q.residualGridStep(b.kMax, b.key.step)
+		reqs := make([]*seriesReq, 0, len(b.ctrl)+len(b.fcfs))
+		for _, i := range b.ctrl {
+			reqs = append(reqs, &seriesReq{k: ks[i], clamp: true, tol: 1e-10, rhoGuard: true})
+		}
+		for _, i := range b.fcfs {
+			reqs = append(reqs, &seriesReq{k: ks[i], tol: 1e-12})
+		}
+		if err := runSeries(rho, beta, 0, reqs); err != nil {
+			if len(b.ctrl) > 0 {
+				return GridLosses{}, err
+			}
+			continue // baseline-only bucket: leave those FCFS points NaN
+		}
+		for n, i := range b.ctrl {
+			z := reqs[n].sum
+			loss := 1 - z/(1+rho*z)
+			if loss < 0 {
+				loss = 0
+			}
+			if loss > 1 {
+				loss = 1
+			}
+			out.Controlled[i] = Result{
+				Loss: loss, ServerIdle: 1 / (1 + rho*z), Rho: rho, Z: z,
+				Terms: reqs[n].terms,
+			}
+		}
+		for n, i := range b.fcfs {
+			cdf := (1 - rho) * reqs[len(b.ctrl)+n].sum
+			if cdf > 1 {
+				cdf = 1
+			}
+			out.FCFS[i] = 1 - cdf
+		}
+	}
+
+	if baselineStable {
+		lq := MG1{Lambda: lambda, Service: starLaw.svc, Step: m.Step}
+		for i, k := range ks {
+			if loss, err := lq.LossLCFS(k); err == nil {
+				out.LCFS[i] = loss
+			}
+		}
+	}
+	return out, nil
 }
 
 // Capacity returns the maximum sustainable offered load ρ′_max of the

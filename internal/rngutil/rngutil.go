@@ -32,6 +32,22 @@ func splitmix64(state *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Mix64 hashes any number of 64-bit words into a single well-mixed seed
+// word by folding each through SplitMix64.  It is the recommended way to
+// derive a per-work-item seed from a base seed plus the item's identity
+// (panel parameters, constraint index, protocol, ...): unlike XOR-ing the
+// raw words together, every input bit avalanches across the whole output,
+// so items whose identities differ in only a low bit still get
+// uncorrelated streams.
+func Mix64(words ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, w := range words {
+		sm := h ^ w
+		h = splitmix64(&sm)
+	}
+	return h
+}
+
 // Stream is a deterministic pseudo-random stream.  It is not safe for
 // concurrent use; give each goroutine its own Stream (see Spawn).
 type Stream struct {

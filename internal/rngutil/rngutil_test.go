@@ -314,3 +314,29 @@ func BenchmarkExp(b *testing.B) {
 		_ = r.Exp(1)
 	}
 }
+
+func TestMix64(t *testing.T) {
+	if Mix64(1, 2, 3) != Mix64(1, 2, 3) {
+		t.Fatal("Mix64 not deterministic")
+	}
+	// Order and identity must matter: the XOR-fold failure mode this
+	// replaces made (a^b) collide with (b^a) and with (a^b, 0).
+	if Mix64(1, 2) == Mix64(2, 1) {
+		t.Error("Mix64 is order-insensitive")
+	}
+	if Mix64(1) == Mix64(1, 0) {
+		t.Error("Mix64 ignores trailing zero words")
+	}
+	// Low-bit neighbours must avalanche: count collisions over a dense
+	// grid of near-identical identities.
+	seen := map[uint64]bool{}
+	for a := uint64(0); a < 64; a++ {
+		for b := uint64(0); b < 64; b++ {
+			h := Mix64(42, a, b)
+			if seen[h] {
+				t.Fatalf("collision at (%d, %d)", a, b)
+			}
+			seen[h] = true
+		}
+	}
+}

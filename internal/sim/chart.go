@@ -93,10 +93,3 @@ func (p Panel) Chart(width, height int) string {
 		strings.Repeat(" ", max(1, width-12)), xMax)
 	return b.String()
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -3,9 +3,12 @@ package sim
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
+	"sync"
 
 	"windowctl/internal/queueing"
+	"windowctl/internal/rngutil"
 	"windowctl/internal/window"
 )
 
@@ -63,8 +66,12 @@ type Point struct {
 	// SimLo and SimHi bound SimControlled at 95% confidence.
 	SimLo, SimHi float64
 	// SimFCFS and SimLCFS are simulated baseline losses (NaN when
-	// disabled).
+	// disabled or failed).
 	SimFCFS, SimLCFS float64
+	// SimFCFSErr and SimLCFSErr record why a requested baseline
+	// simulation produced no value (nil when it succeeded or was not
+	// requested).  The corresponding Sim* field is NaN on failure.
+	SimFCFSErr, SimLCFSErr error
 }
 
 // Panel is a fully evaluated figure-7 panel.
@@ -80,86 +87,213 @@ type SimOptions struct {
 	// Baselines additionally simulates the FCFS and LCFS protocols.
 	Baselines bool
 	// EndTime and Warmup configure each run; zero values choose horizons
-	// long enough for ~1e5 offered messages.
+	// long enough for ~Messages offered messages.
 	EndTime, Warmup float64
+	// Messages is the target number of offered messages per run used to
+	// derive the horizon when EndTime is zero; 0 means 1e5.
+	Messages float64
 	// Seed drives the runs.
 	Seed uint64
+	// Workers bounds the number of work items (one per constraint and
+	// protocol, plus one analytic job per panel) evaluated concurrently;
+	// 0 means GOMAXPROCS, 1 means sequential.  The output is
+	// bit-identical at every worker count: each item's random stream is
+	// derived from the item's identity, never from scheduling order.
+	Workers int
 }
 
-// Figure7Panel evaluates one panel: analytic curves from the queueing
-// models, simulation points from the global-view simulator.
-func Figure7Panel(spec PanelSpec, opt SimOptions) (Panel, error) {
-	spec = spec.withDefaults()
-	model := queueing.ProtocolModel{Tau: spec.Tau, M: spec.M, RhoPrime: spec.RhoPrime}
-	lambda := model.Lambda()
-	gStar := queueing.OptimalWindowContent()
+// Work-item protocol tags mixed into per-item seeds.  The values are part
+// of the reproducibility contract: changing them changes every simulated
+// curve.
+const (
+	protoControlled = iota
+	protoFCFS
+	protoLCFS
+)
 
-	endTime := opt.EndTime
-	if endTime == 0 {
-		endTime = 1e5 / lambda // ~1e5 offered messages
+// itemSeed derives the random seed of one simulation work item from the
+// base seed and the item's full identity.  Seeding by identity rather
+// than by loop position keeps every run reproducible under any worker
+// count and under re-slicing of the panel list, and the SplitMix64
+// avalanche keeps neighbouring items (same panel, adjacent constraints)
+// statistically independent — unlike the XOR of truncated parameters it
+// replaces, which collided whenever K/M·1024 and M shared bits.
+func itemSeed(seed uint64, spec PanelSpec, kIndex, proto int) uint64 {
+	return rngutil.Mix64(seed,
+		math.Float64bits(spec.RhoPrime),
+		math.Float64bits(spec.M),
+		math.Float64bits(spec.Tau),
+		uint64(kIndex),
+		uint64(proto),
+	)
+}
+
+// runJobs executes the jobs over a bounded worker pool and returns the
+// lowest-indexed error, independent of scheduling order.  Each job owns
+// the memory it writes, so the only synchronization needed is the final
+// barrier.
+func runJobs(jobs []func() error, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	warmup := opt.Warmup
-	if warmup == 0 {
-		warmup = endTime / 20
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
-
-	panel := Panel{Spec: spec}
-	for _, km := range spec.KOverM {
-		k := km * spec.M * spec.Tau
-		pt := Point{KOverM: km, K: k,
-			SimControlled: math.NaN(), SimLo: math.NaN(), SimHi: math.NaN(),
-			SimFCFS: math.NaN(), SimLCFS: math.NaN()}
-
-		res, err := model.ControlledLoss(k)
+	errs := make([]error, len(jobs))
+	if workers <= 1 {
+		for i, job := range jobs {
+			errs[i] = job()
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					errs[i] = jobs[i]()
+				}
+			}()
+		}
+		for i := range jobs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for _, err := range errs {
 		if err != nil {
-			return Panel{}, fmt.Errorf("controlled loss at K=%v: %w", k, err)
+			return err
 		}
-		pt.Controlled = res.Loss
-		if f, err := model.FCFSLoss(k); err == nil {
-			pt.FCFS = f
-		} else {
-			pt.FCFS = math.NaN()
-		}
-		if l, err := model.LCFSLoss(k); err == nil {
-			pt.LCFS = l
-		} else {
-			pt.LCFS = math.NaN()
-		}
-
-		if !opt.Disable {
-			cfg := Config{
-				Policy: window.Controlled{Length: window.FixedG(gStar)},
-				Tau:    spec.Tau, M: spec.M, Lambda: lambda, K: k,
-				EndTime: endTime, Warmup: warmup,
-				Seed: opt.Seed ^ uint64(km*1024) ^ uint64(spec.M),
-			}
-			rep, err := RunGlobal(cfg)
-			if err != nil {
-				return Panel{}, fmt.Errorf("controlled simulation at K=%v: %w", k, err)
-			}
-			pt.SimControlled = rep.Loss()
-			pt.SimLo, pt.SimHi = rep.LossCI(0.95)
-
-			if opt.Baselines {
-				fcfg := cfg
-				fcfg.Policy = window.FCFS{Length: window.FixedG(gStar)}
-				if frep, err := RunGlobal(fcfg); err == nil {
-					pt.SimFCFS = frep.Loss()
-				}
-				lcfg := cfg
-				lcfg.Policy = window.LCFS{Length: window.FixedG(gStar)}
-				if lrep, err := RunGlobal(lcfg); err == nil {
-					pt.SimLCFS = lrep.Loss()
-				}
-			}
-		}
-		panel.Points = append(panel.Points, pt)
 	}
-	return panel, nil
+	return nil
+}
+
+// Figure7Panels evaluates a set of panels by fanning the work — one
+// batched analytic solve per panel plus one simulation run per
+// (constraint, protocol) — over a bounded worker pool.  Results are
+// bit-identical to sequential evaluation (Workers: 1); see
+// SimOptions.Workers.  This is the driver behind cmd/figures -parallel.
+func Figure7Panels(specs []PanelSpec, opt SimOptions) ([]Panel, error) {
+	panels := make([]Panel, len(specs))
+	var jobs []func() error
+
+	for pi := range specs {
+		spec := specs[pi].withDefaults()
+		model := queueing.ProtocolModel{Tau: spec.Tau, M: spec.M, RhoPrime: spec.RhoPrime}
+		lambda := model.Lambda()
+		gStar := queueing.OptimalWindowContent()
+
+		pts := make([]Point, len(spec.KOverM))
+		ks := make([]float64, len(spec.KOverM))
+		for i, km := range spec.KOverM {
+			ks[i] = km * spec.M * spec.Tau
+			pts[i] = Point{KOverM: km, K: ks[i],
+				FCFS: math.NaN(), LCFS: math.NaN(),
+				SimControlled: math.NaN(), SimLo: math.NaN(), SimHi: math.NaN(),
+				SimFCFS: math.NaN(), SimLCFS: math.NaN()}
+		}
+		panels[pi] = Panel{Spec: spec, Points: pts}
+
+		// One analytic job per panel: all three curves ride the batched
+		// multi-K solver, sharing convolution series across the grid.
+		jobs = append(jobs, func() error {
+			grids, err := model.LossGrids(ks)
+			if err != nil {
+				return fmt.Errorf("panel rho'=%v M=%v: controlled loss: %w",
+					spec.RhoPrime, spec.M, err)
+			}
+			for i := range pts {
+				pts[i].Controlled = grids.Controlled[i].Loss
+				pts[i].FCFS = grids.FCFS[i]
+				pts[i].LCFS = grids.LCFS[i]
+			}
+			return nil
+		})
+
+		if opt.Disable {
+			continue
+		}
+		endTime := opt.EndTime
+		if endTime == 0 {
+			messages := opt.Messages
+			if messages == 0 {
+				messages = 1e5
+			}
+			endTime = messages / lambda
+		}
+		warmup := opt.Warmup
+		if warmup == 0 {
+			warmup = endTime / 20
+		}
+		for i := range pts {
+			i := i
+			base := Config{
+				Tau: spec.Tau, M: spec.M, Lambda: lambda, K: ks[i],
+				EndTime: endTime, Warmup: warmup,
+			}
+			jobs = append(jobs, func() error {
+				cfg := base
+				cfg.Policy = window.Controlled{Length: window.FixedG(gStar)}
+				cfg.Seed = itemSeed(opt.Seed, spec, i, protoControlled)
+				rep, err := RunGlobal(cfg)
+				if err != nil {
+					return fmt.Errorf("panel rho'=%v M=%v: controlled simulation at K=%v: %w",
+						spec.RhoPrime, spec.M, ks[i], err)
+				}
+				pts[i].SimControlled = rep.Loss()
+				pts[i].SimLo, pts[i].SimHi = rep.LossCI(0.95)
+				return nil
+			})
+			if !opt.Baselines {
+				continue
+			}
+			jobs = append(jobs, func() error {
+				cfg := base
+				cfg.Policy = window.FCFS{Length: window.FixedG(gStar)}
+				cfg.Seed = itemSeed(opt.Seed, spec, i, protoFCFS)
+				if rep, err := RunGlobal(cfg); err == nil {
+					pts[i].SimFCFS = rep.Loss()
+				} else {
+					pts[i].SimFCFSErr = err
+				}
+				return nil
+			})
+			jobs = append(jobs, func() error {
+				cfg := base
+				cfg.Policy = window.LCFS{Length: window.FixedG(gStar)}
+				cfg.Seed = itemSeed(opt.Seed, spec, i, protoLCFS)
+				if rep, err := RunGlobal(cfg); err == nil {
+					pts[i].SimLCFS = rep.Loss()
+				} else {
+					pts[i].SimLCFSErr = err
+				}
+				return nil
+			})
+		}
+	}
+
+	if err := runJobs(jobs, opt.Workers); err != nil {
+		return nil, err
+	}
+	return panels, nil
+}
+
+// Figure7Panel evaluates one panel: analytic curves from the batched
+// queueing solvers, simulation points from the global-view simulator,
+// with the per-(constraint, protocol) work spread over SimOptions.Workers.
+func Figure7Panel(spec PanelSpec, opt SimOptions) (Panel, error) {
+	panels, err := Figure7Panels([]PanelSpec{spec}, opt)
+	if err != nil {
+		return Panel{}, err
+	}
+	return panels[0], nil
 }
 
 // Format renders the panel as an aligned text table, the library's
-// counterpart of one figure-7 plot.
+// counterpart of one figure-7 plot.  Baseline simulation failures are
+// listed below the table.
 func (p Panel) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 7 panel: rho'=%.2f  M=%g  (loss fraction vs. constraint K)\n",
@@ -172,6 +306,14 @@ func (p Panel) Format() string {
 			fmtLoss(pt.FCFS), fmtLoss(pt.LCFS),
 			fmtSim(pt.SimControlled, pt.SimLo, pt.SimHi),
 			fmtLoss(pt.SimFCFS), fmtLoss(pt.SimLCFS))
+	}
+	for _, pt := range p.Points {
+		if pt.SimFCFSErr != nil {
+			fmt.Fprintf(&b, "note: sim(fcfs) failed at K/M=%.2f: %v\n", pt.KOverM, pt.SimFCFSErr)
+		}
+		if pt.SimLCFSErr != nil {
+			fmt.Fprintf(&b, "note: sim(lcfs) failed at K/M=%.2f: %v\n", pt.KOverM, pt.SimLCFSErr)
+		}
 	}
 	return b.String()
 }

@@ -106,6 +106,14 @@ func Figure7Panel(spec PanelSpec, opt Figure7Options) (Panel, error) {
 	return sim.Figure7Panel(spec, opt)
 }
 
+// Figure7Panels evaluates a set of figure-7 panels, fanning the per-panel
+// analytic solves and per-(constraint, protocol) simulation runs over
+// Figure7Options.Workers concurrent workers; results are bit-identical at
+// every worker count.
+func Figure7Panels(specs []PanelSpec, opt Figure7Options) ([]Panel, error) {
+	return sim.Figure7Panels(specs, opt)
+}
+
 // AllFigure7Panels returns the paper's six panel specifications
 // (ρ′ ∈ {.25, .50, .75} × M ∈ {25, 100}).
 func AllFigure7Panels() []PanelSpec { return sim.AllPanels() }

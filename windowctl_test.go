@@ -56,6 +56,20 @@ func TestFigure7Facade(t *testing.T) {
 	if !strings.Contains(panel.Format(), "rho'=0.50") {
 		t.Fatal("format header missing")
 	}
+	many, err := windowctl.Figure7Panels([]windowctl.PanelSpec{
+		{RhoPrime: 0.25, M: 25, KOverM: []float64{2}},
+		{RhoPrime: 0.75, M: 25, KOverM: []float64{2}},
+	}, windowctl.Figure7Options{Disable: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(many) != 2 || len(many[0].Points) != 1 || len(many[1].Points) != 1 {
+		t.Fatalf("unexpected multi-panel shape: %+v", many)
+	}
+	if !(many[0].Points[0].Controlled < many[1].Points[0].Controlled) {
+		t.Fatalf("loss should grow with load: %v vs %v",
+			many[0].Points[0].Controlled, many[1].Points[0].Controlled)
+	}
 }
 
 func TestVariableLengthsFacade(t *testing.T) {
