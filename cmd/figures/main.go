@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	figures [-panel all|RHO,M] [-sim] [-baselines] [-messages N] [-seed S]
-//	        [-parallel] [-workers N]
+//	figures [-panel all|RHO,M] [-sim] [-baselines] [-metrics] [-messages N]
+//	        [-seed S] [-parallel] [-workers N]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 //
 // Examples:
 //
@@ -15,11 +16,19 @@
 //	figures -sim                   # with controlled-protocol simulation
 //	figures -sim -baselines        # also simulate FCFS and LCFS
 //	figures -panel 0.75,25 -sim    # a single panel
+//	figures -sim -metrics          # print per-run slot metrics tables too
 //	figures -sim -parallel=false   # force sequential evaluation
 //
 // Evaluation is parallel by default: the per-panel analytic solves and
 // per-(constraint, protocol) simulation runs are fanned over a bounded
 // worker pool.  The output is bit-identical to -parallel=false.
+//
+// -metrics (which implies -sim) attaches a slot-level collector to every
+// simulation run and prints each panel's metrics table — idle / success /
+// collision slots, window splits, utilization and the element-(4) discard
+// accounting of §4.2; every instrumented run's conservation invariants
+// are verified and a violation fails the command.  -cpuprofile and
+// -memprofile write pprof profiles of the whole evaluation.
 package main
 
 import (
@@ -30,6 +39,7 @@ import (
 	"strings"
 
 	"windowctl"
+	"windowctl/internal/profiling"
 )
 
 func main() {
@@ -41,7 +51,21 @@ func main() {
 	seed := flag.Uint64("seed", 1983, "simulation seed")
 	parallel := flag.Bool("parallel", true, "evaluate panels over a worker pool (output is identical either way)")
 	workers := flag.Int("workers", 0, "worker count for -parallel (0 = GOMAXPROCS)")
+	metricsFlag := flag.Bool("metrics", false, "collect and print per-run slot metrics (implies -sim; verifies conservation invariants)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+		}
+	}()
 
 	specs, err := selectPanels(*panelFlag)
 	if err != nil {
@@ -49,11 +73,12 @@ func main() {
 		os.Exit(2)
 	}
 	opt := windowctl.Figure7Options{
-		Disable:   !*simFlag && !*baseFlag,
+		Disable:   !*simFlag && !*baseFlag && !*metricsFlag,
 		Baselines: *baseFlag,
 		Messages:  *messages,
 		Seed:      *seed,
 		Workers:   *workers,
+		Metrics:   *metricsFlag,
 	}
 	if !*parallel {
 		opt.Workers = 1
@@ -65,6 +90,9 @@ func main() {
 	}
 	for _, panel := range panels {
 		fmt.Println(panel.Format())
+		if *metricsFlag {
+			fmt.Println(panel.MetricsTable())
+		}
 		if *chartFlag {
 			fmt.Println(panel.Chart(64, 18))
 		}

@@ -2,9 +2,17 @@
 // CSV for plotting: one row per (load, K) point with the analytic and
 // simulated loss of the selected disciplines.
 //
+// With -sim -metrics one shared slot-level collector aggregates every
+// simulation run of the grid — each run is still individually verified
+// against the conservation invariants — and the grid totals (slots,
+// splits, discards, utilization) are printed to stderr after the CSV, so
+// the CSV on stdout stays clean.  -cpuprofile and -memprofile write
+// pprof profiles.
+//
 // Usage:
 //
-//	sweep [-m 25] [-loads 0.25,0.5,0.75] [-km 0.5,1,2,4] [-sim] [-messages 50000] > out.csv
+//	sweep [-m 25] [-loads 0.25,0.5,0.75] [-km 0.5,1,2,4] [-sim] [-messages 50000]
+//	      [-metrics] [-cpuprofile FILE] [-memprofile FILE] > out.csv
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"strings"
 
 	"windowctl"
+	"windowctl/internal/profiling"
 )
 
 func main() {
@@ -24,7 +33,32 @@ func main() {
 	sim := flag.Bool("sim", false, "add simulated loss columns")
 	messages := flag.Float64("messages", 5e4, "offered messages per simulation point")
 	seed := flag.Uint64("seed", 1983, "simulation seed")
+	metricsFlag := flag.Bool("metrics", false, "aggregate slot-level metrics over the grid and print them to stderr (requires -sim)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+		}
+	}()
+
+	// One collector aggregates the whole grid: the runs are sequential,
+	// and each one checkpoints the counters so its own conservation
+	// invariants are still verified individually.  No histogram — the
+	// grid's (K) values differ, so their wait bins are not comparable.
+	var sm *windowctl.SlotMetrics
+	if *metricsFlag {
+		if !*sim {
+			fail(fmt.Errorf("-metrics requires -sim (there is nothing to collect from analytic rows)"))
+		}
+		sm = &windowctl.SlotMetrics{}
+	}
 
 	loadVals, err := parseFloats(*loads)
 	if err != nil {
@@ -58,7 +92,11 @@ func main() {
 			if *sim {
 				for _, d := range []windowctl.Discipline{windowctl.Controlled, windowctl.FCFS, windowctl.LCFS} {
 					sys := windowctl.System{M: *m, RhoPrime: rho, K: k, Discipline: d, Seed: *seed}
-					rep, err := sys.Simulate(windowctl.SimOptions{EndTime: *messages / sys.Lambda()})
+					opt := windowctl.SimOptions{EndTime: *messages / sys.Lambda()}
+					if sm != nil {
+						opt.Collector = sm
+					}
+					rep, err := sys.Simulate(opt)
 					if err != nil {
 						row = append(row, "")
 						continue
@@ -68,6 +106,11 @@ func main() {
 			}
 			fmt.Println(strings.Join(row, ","))
 		}
+	}
+
+	if sm != nil {
+		sm.Publish("sweep")
+		fmt.Fprintf(os.Stderr, "grid slot metrics (every run's invariants verified)\n%s", sm.Format())
 	}
 }
 

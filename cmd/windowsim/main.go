@@ -4,10 +4,17 @@
 // simulator (which verifies that all distributed stations stay in
 // lockstep).
 //
+// With -metrics the run is instrumented with a slot-level collector: the
+// idle/success/collision slot counts, window splits, element-(4)
+// discards and the accepted-wait histogram are printed after the report,
+// and the run's conservation invariants (see docs/OBSERVABILITY.md) are
+// verified.  -cpuprofile and -memprofile write pprof profiles.
+//
 // Usage:
 //
 //	windowsim -rho 0.75 -m 25 -km 2 [-discipline controlled|fcfs|lcfs|random]
 //	          [-stations N] [-messages 1e5] [-seed S] [-g G]
+//	          [-metrics] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"os"
 
 	"windowctl"
+	"windowctl/internal/profiling"
 )
 
 func main() {
@@ -31,7 +39,21 @@ func main() {
 	g := flag.Float64("g", 0, "mean window content G (0 = heuristic optimum)")
 	replications := flag.Int("replications", 0, "run N independent replications and report a cross-replication CI")
 	expLen := flag.Bool("explen", false, "exponential message lengths (mean M·τ) instead of fixed")
+	metricsFlag := flag.Bool("metrics", false, "collect and print slot-level metrics (verifies conservation invariants)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, profErr := profiling.Start(*cpuProfile, *memProfile)
+	if profErr != nil {
+		fmt.Fprintln(os.Stderr, "windowsim:", profErr)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "windowsim:", err)
+		}
+	}()
 
 	constraint := *k
 	if constraint == 0 {
@@ -59,6 +81,15 @@ func main() {
 		sys.TxLengths = windowctl.ExponentialLength(*m * *tau)
 	}
 	opt := windowctl.SimOptions{EndTime: *messages / sys.Lambda()}
+	var sm *windowctl.SlotMetrics
+	if *metricsFlag {
+		if *replications > 1 {
+			fmt.Fprintln(os.Stderr, "windowsim: -metrics does not combine with -replications (replications run concurrently)")
+			os.Exit(2)
+		}
+		sm = windowctl.NewSlotMetrics(*tau, int(constraint / *tau)+64)
+		opt.Collector = sm
+	}
 
 	if *replications > 1 {
 		r, err := sys.SimulateReplicated(*replications, opt)
@@ -96,4 +127,11 @@ func main() {
 	fmt.Printf("channel utilization %.4f\n", rep.Utilization)
 	fmt.Printf("idle/collision slots %d / %d\n", rep.IdleSlots, rep.CollisionSlots)
 	fmt.Printf("max backlog         %d\n", rep.MaxBacklog)
+
+	if sm != nil {
+		// The run already verified the conservation invariants (it would
+		// have failed above otherwise); publish for expvar consumers too.
+		sm.Publish("windowsim")
+		fmt.Printf("\nslot metrics (invariants verified)\n%s", sm.Format())
+	}
 }

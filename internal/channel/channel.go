@@ -15,6 +15,7 @@ package channel
 import (
 	"fmt"
 
+	"windowctl/internal/metrics"
 	"windowctl/internal/window"
 )
 
@@ -23,9 +24,10 @@ import (
 // returns the common feedback plus the slot's duration, while keeping
 // utilization accounts.
 type Channel struct {
-	tau    float64
-	txTime float64
-	stats  Stats
+	tau       float64
+	txTime    float64
+	stats     Stats
+	collector metrics.Collector // nil unless Observe was called
 }
 
 // Stats aggregates channel activity.
@@ -61,6 +63,10 @@ func New(tau, txTime float64) *Channel {
 	return &Channel{tau: tau, txTime: txTime}
 }
 
+// Observe attaches a metrics collector: every resolved slot is reported
+// to it with its outcome and duration.  Pass nil to detach.
+func (c *Channel) Observe(m metrics.Collector) { c.collector = m }
+
 // Tau returns the propagation delay (slot time).
 func (c *Channel) Tau() float64 { return c.tau }
 
@@ -79,14 +85,23 @@ func (c *Channel) ResolveSlot(transmitters int) (window.Feedback, float64) {
 	case transmitters == 0:
 		c.stats.IdleSlots++
 		c.stats.WastedTime += c.tau
+		if c.collector != nil {
+			c.collector.RecordSlots(metrics.SlotIdle, 1, c.tau)
+		}
 		return window.Idle, c.tau
 	case transmitters == 1:
 		c.stats.SuccessSlots++
 		c.stats.BusyTime += c.txTime
+		if c.collector != nil {
+			c.collector.RecordSlots(metrics.SlotSuccess, 1, c.txTime)
+		}
 		return window.Success, c.txTime
 	default:
 		c.stats.CollisionSlots++
 		c.stats.WastedTime += c.tau
+		if c.collector != nil {
+			c.collector.RecordSlots(metrics.SlotCollision, 1, c.tau)
+		}
 		return window.Collision, c.tau
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"windowctl/internal/dist"
+	"windowctl/internal/metrics"
 	"windowctl/internal/queueing"
 	"windowctl/internal/rngutil"
 	"windowctl/internal/sim"
@@ -212,6 +213,13 @@ type SimOptions struct {
 	Warmup float64
 	// MaxBacklog aborts hopeless overloads; 0 means the sim default.
 	MaxBacklog int
+	// Collector, when non-nil, receives every slot-level protocol event
+	// of the run (arrivals, slot outcomes, splits, discards,
+	// transmissions).  When it can verify the conservation invariants —
+	// as *metrics.SlotMetrics can — the run checks them and fails on
+	// violation.  Not supported by SimulateReplicated (replications run
+	// concurrently).
+	Collector metrics.Collector
 }
 
 func (s System) simConfig(opt SimOptions) (sim.Config, error) {
@@ -234,7 +242,7 @@ func (s System) simConfig(opt SimOptions) (sim.Config, error) {
 	return sim.Config{
 		Policy: pol, Tau: s.Tau, M: s.M, Lambda: s.Lambda(), K: s.K,
 		EndTime: end, Warmup: warm, Seed: s.Seed, MaxBacklog: opt.MaxBacklog,
-		TxLengths: s.TxLengths,
+		TxLengths: s.TxLengths, Collector: opt.Collector,
 	}, nil
 }
 

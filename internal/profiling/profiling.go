@@ -1,0 +1,53 @@
+// Package profiling is the tiny pprof harness shared by the commands: a
+// single Start call wires the -cpuprofile / -memprofile flags every
+// command exposes into runtime/pprof, returning a stop function the
+// caller defers.  Profiles are written in the format `go tool pprof`
+// reads.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling as requested: a CPU profile streamed to
+// cpuFile while the program runs, and a heap profile written to memFile
+// when the returned stop function is called.  Either path may be empty
+// to skip that profile; with both empty, Start is a no-op and stop never
+// fails.  The caller must invoke stop (typically deferred from main)
+// before exiting, or the profiles are incomplete.
+func Start(cpuFile, memFile string) (stop func() error, err error) {
+	var cpuOut *os.File
+	if cpuFile != "" {
+		cpuOut, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuOut); err != nil {
+			cpuOut.Close()
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuOut != nil {
+			pprof.StopCPUProfile()
+			if err := cpuOut.Close(); err != nil {
+				return fmt.Errorf("profiling: close cpu profile: %w", err)
+			}
+		}
+		if memFile != "" {
+			memOut, err := os.Create(memFile)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			defer memOut.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(memOut); err != nil {
+				return fmt.Errorf("profiling: write heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"windowctl/internal/metrics"
 	"windowctl/internal/queueing"
 	"windowctl/internal/rngutil"
 	"windowctl/internal/window"
@@ -72,6 +73,11 @@ type Point struct {
 	// simulation produced no value (nil when it succeeded or was not
 	// requested).  The corresponding Sim* field is NaN on failure.
 	SimFCFSErr, SimLCFSErr error
+	// ControlledMetrics, FCFSMetrics and LCFSMetrics hold the slot-level
+	// counters of each simulated run when SimOptions.Metrics is set (nil
+	// otherwise, or when the run was skipped or failed).  Their
+	// conservation invariants were verified by the run that filled them.
+	ControlledMetrics, FCFSMetrics, LCFSMetrics *metrics.SlotMetrics
 }
 
 // Panel is a fully evaluated figure-7 panel.
@@ -94,6 +100,12 @@ type SimOptions struct {
 	Messages float64
 	// Seed drives the runs.
 	Seed uint64
+	// Metrics attaches a fresh metrics.SlotMetrics to every simulation
+	// run and surfaces it on the resulting Point, so per-panel slot,
+	// utilization and discard accounting (the §4.2 quantities) comes out
+	// of the pipeline itself; every instrumented run's conservation
+	// invariants are checked and a violation fails the evaluation.
+	Metrics bool
 	// Workers bounds the number of work items (one per constraint and
 	// protocol, plus one analytic job per panel) evaluated concurrently;
 	// 0 means GOMAXPROCS, 1 means sequential.  The output is
@@ -227,6 +239,15 @@ func Figure7Panels(specs []PanelSpec, opt SimOptions) ([]Panel, error) {
 		if warmup == 0 {
 			warmup = endTime / 20
 		}
+		// newCollector gives each instrumented run its own fresh
+		// SlotMetrics (they are not safe for sharing across the worker
+		// pool), shaped like the run's own Report histogram.
+		newCollector := func(k float64) *metrics.SlotMetrics {
+			if !opt.Metrics {
+				return nil
+			}
+			return metrics.NewSlotMetrics(spec.Tau, int(k/spec.Tau)+64)
+		}
 		for i := range pts {
 			i := i
 			base := Config{
@@ -237,6 +258,10 @@ func Figure7Panels(specs []PanelSpec, opt SimOptions) ([]Panel, error) {
 				cfg := base
 				cfg.Policy = window.Controlled{Length: window.FixedG(gStar)}
 				cfg.Seed = itemSeed(opt.Seed, spec, i, protoControlled)
+				sm := newCollector(cfg.K)
+				if sm != nil {
+					cfg.Collector = sm
+				}
 				rep, err := RunGlobal(cfg)
 				if err != nil {
 					return fmt.Errorf("panel rho'=%v M=%v: controlled simulation at K=%v: %w",
@@ -244,6 +269,7 @@ func Figure7Panels(specs []PanelSpec, opt SimOptions) ([]Panel, error) {
 				}
 				pts[i].SimControlled = rep.Loss()
 				pts[i].SimLo, pts[i].SimHi = rep.LossCI(0.95)
+				pts[i].ControlledMetrics = sm
 				return nil
 			})
 			if !opt.Baselines {
@@ -253,8 +279,13 @@ func Figure7Panels(specs []PanelSpec, opt SimOptions) ([]Panel, error) {
 				cfg := base
 				cfg.Policy = window.FCFS{Length: window.FixedG(gStar)}
 				cfg.Seed = itemSeed(opt.Seed, spec, i, protoFCFS)
+				sm := newCollector(cfg.K)
+				if sm != nil {
+					cfg.Collector = sm
+				}
 				if rep, err := RunGlobal(cfg); err == nil {
 					pts[i].SimFCFS = rep.Loss()
+					pts[i].FCFSMetrics = sm
 				} else {
 					pts[i].SimFCFSErr = err
 				}
@@ -264,8 +295,13 @@ func Figure7Panels(specs []PanelSpec, opt SimOptions) ([]Panel, error) {
 				cfg := base
 				cfg.Policy = window.LCFS{Length: window.FixedG(gStar)}
 				cfg.Seed = itemSeed(opt.Seed, spec, i, protoLCFS)
+				sm := newCollector(cfg.K)
+				if sm != nil {
+					cfg.Collector = sm
+				}
 				if rep, err := RunGlobal(cfg); err == nil {
 					pts[i].SimLCFS = rep.Loss()
+					pts[i].LCFSMetrics = sm
 				} else {
 					pts[i].SimLCFSErr = err
 				}
@@ -314,6 +350,46 @@ func (p Panel) Format() string {
 		if pt.SimLCFSErr != nil {
 			fmt.Fprintf(&b, "note: sim(lcfs) failed at K/M=%.2f: %v\n", pt.KOverM, pt.SimLCFSErr)
 		}
+	}
+	return b.String()
+}
+
+// MetricsTable renders the slot-level counters collected for the panel's
+// simulation runs (SimOptions.Metrics) as an aligned text table: one row
+// per (constraint, protocol) with slot counts, window splits, channel
+// utilization and the sender-discard accounting behind the §4.2 ablation.
+// Runs without metrics (disabled, skipped or failed) are omitted; the
+// table says so when nothing was collected.
+func (p Panel) MetricsTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Slot metrics: rho'=%.2f  M=%g  (per simulated run; invariants verified)\n",
+		p.Spec.RhoPrime, p.Spec.M)
+	fmt.Fprintf(&b, "%8s %-10s %10s %10s %10s %8s %8s %10s %10s %10s\n",
+		"K/M", "protocol", "idle", "success", "collision", "splits", "util",
+		"discards", "disc.frac", "loss")
+	rows := 0
+	for _, pt := range p.Points {
+		for _, row := range []struct {
+			name string
+			sm   *metrics.SlotMetrics
+		}{
+			{"controlled", pt.ControlledMetrics},
+			{"fcfs", pt.FCFSMetrics},
+			{"lcfs", pt.LCFSMetrics},
+		} {
+			if row.sm == nil {
+				continue
+			}
+			rows++
+			fmt.Fprintf(&b, "%8.2f %-10s %10d %10d %10d %8d %8.4f %10d %10.4f %10.4f\n",
+				pt.KOverM, row.name,
+				row.sm.IdleSlots, row.sm.SuccessSlots, row.sm.CollisionSlots,
+				row.sm.Splits, row.sm.Utilization(),
+				row.sm.Discards, row.sm.DiscardFraction(), row.sm.Loss())
+		}
+	}
+	if rows == 0 {
+		b.WriteString("(no metrics collected — run with SimOptions.Metrics / -metrics)\n")
 	}
 	return b.String()
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"windowctl/internal/dist"
+	"windowctl/internal/metrics"
 	"windowctl/internal/rngutil"
 	"windowctl/internal/stats"
 	"windowctl/internal/window"
@@ -49,6 +50,13 @@ type Config struct {
 	// each completed windowing process — adaptive operation for networks
 	// where λ′ is unknown.  Supported by the global simulator only.
 	RateEstimator *window.RateEstimator
+	// Collector, when non-nil, receives every slot-level protocol event
+	// of the run (arrivals, probe outcomes, splits, discards,
+	// transmissions) — see internal/metrics.  Collectors implementing
+	// metrics.ConservationChecker (as *metrics.SlotMetrics does) have
+	// their conservation invariants verified at the end of the run, and
+	// an inconsistency fails the run.  Nil costs nothing.
+	Collector metrics.Collector
 }
 
 func (c Config) validate() error {
@@ -92,6 +100,7 @@ type globalState struct {
 	cfg     Config
 	rng     *rngutil.Stream
 	tracker *window.Tracker
+	col     metrics.Collector // never nil (Nop when uninstrumented)
 	now     float64
 	pending []pendingMsg // ascending arrival time
 	nextArr float64
@@ -114,6 +123,7 @@ func RunGlobal(cfg Config) (Report, error) {
 		cfg:     cfg,
 		rng:     rngutil.New(cfg.Seed),
 		tracker: window.NewTracker(0, cfg.K, cfg.Policy.Discards()),
+		col:     metrics.OrNop(cfg.Collector),
 	}
 	g.rep.WaitHist = stats.NewHistogram(cfg.Tau, int(cfg.K/cfg.Tau)+64)
 	g.nextArr = g.rng.Exp(cfg.Lambda)
@@ -121,6 +131,7 @@ func RunGlobal(cfg Config) (Report, error) {
 	if maxBacklog <= 0 {
 		maxBacklog = 1 << 20
 	}
+	checkpoint, check := conservationStart(cfg.Collector)
 
 	for g.now < cfg.EndTime {
 		g.fill(g.now)
@@ -132,11 +143,17 @@ func RunGlobal(cfg Config) (Report, error) {
 		}
 	}
 	g.finish()
+	if check != nil {
+		if err := check.CheckConservation(checkpoint, int64(len(g.pending)), g.now); err != nil {
+			return g.rep, fmt.Errorf("sim: %w", err)
+		}
+	}
 	return g.rep, nil
 }
 
 // fill materializes arrivals with time <= t.
 func (g *globalState) fill(t float64) {
+	added := int64(0)
 	for g.nextArr <= t {
 		g.pending = append(g.pending, pendingMsg{
 			arrival:  g.nextArr,
@@ -145,7 +162,11 @@ func (g *globalState) fill(t float64) {
 		if g.nextArr >= g.cfg.Warmup {
 			g.rep.Offered++
 		}
+		added++
 		g.nextArr += g.rng.Exp(g.cfg.Lambda)
+	}
+	if added > 0 {
+		g.col.RecordArrivals(added)
 	}
 	if len(g.pending) > g.rep.MaxBacklog {
 		g.rep.MaxBacklog = len(g.pending)
@@ -173,6 +194,7 @@ func (g *globalState) oneProcess() error {
 			}
 		}
 		if cut > 0 {
+			g.col.RecordDiscards(int64(cut))
 			g.pending = append(g.pending[:0], g.pending[cut:]...)
 		}
 	}
@@ -184,6 +206,10 @@ func (g *globalState) oneProcess() error {
 	view := g.tracker.View(g.now, g.cfg.Tau, lambdaView)
 	if view.TNewest-view.TPast <= 0 {
 		// Nothing unexamined (start-up corner): let time pass one slot.
+		// The channel is idle for it; the collector must see the slot so
+		// the slot-time conservation invariant accounts for all of g.now
+		// (Report.IdleSlots deliberately excludes this pre-protocol slot).
+		g.col.RecordSlots(metrics.SlotIdle, 1, g.cfg.Tau)
 		g.now += g.cfg.Tau
 		return nil
 	}
@@ -192,7 +218,7 @@ func (g *globalState) oneProcess() error {
 		// be observed one by one, so the fast path is skipped.)
 		return nil
 	}
-	rep, err := window.RunProcess(g.cfg.Policy, view, g.countIn)
+	rep, err := window.RunProcessObserved(g.cfg.Policy, view, g.countIn, g.col)
 	if err != nil {
 		return err
 	}
@@ -217,13 +243,16 @@ func (g *globalState) oneProcess() error {
 	for _, s := range rep.Steps {
 		if s.Outcome == window.Success {
 			successStart = g.now
+			g.col.RecordSlots(metrics.SlotSuccess, 1, txTime)
 			g.now += txTime
 		} else {
 			g.now += g.cfg.Tau
 			if s.Outcome == window.Idle {
 				g.rep.IdleSlots++
+				g.col.RecordSlots(metrics.SlotIdle, 1, g.cfg.Tau)
 			} else {
 				g.rep.CollisionSlots++
+				g.col.RecordSlots(metrics.SlotCollision, 1, g.cfg.Tau)
 			}
 		}
 	}
@@ -246,6 +275,7 @@ func (g *globalState) oneProcess() error {
 	g.rep.Transmissions++
 
 	trueWait := successStart - msg.arrival
+	g.col.RecordTransmission(trueWait, trueWait <= g.cfg.K)
 	if msg.measured {
 		g.rep.TrueWait.Add(trueWait)
 		g.rep.WaitHist.Add(trueWait)
@@ -294,6 +324,7 @@ func (g *globalState) fastForwardIdle(view window.View) bool {
 		skip = 1
 	}
 	g.rep.IdleSlots += int64(skip)
+	g.col.RecordSlots(metrics.SlotIdle, int64(skip), float64(skip)*g.cfg.Tau)
 	g.now += float64(skip) * g.cfg.Tau
 	g.tracker.Commit(g.now, []window.Window{{Start: view.TPast, End: g.now - g.cfg.Tau}})
 	return true
@@ -312,6 +343,7 @@ func (g *globalState) finish() {
 			g.rep.Censored++
 		}
 	}
+	g.col.RecordEndPending(g.rep.LostPending, g.rep.Censored)
 	g.rep.EndBacklog = len(g.pending)
 	busy := float64(g.rep.Transmissions) * g.cfg.M * g.cfg.Tau
 	wasted := float64(g.rep.IdleSlots+g.rep.CollisionSlots) * g.cfg.Tau

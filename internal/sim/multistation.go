@@ -6,6 +6,7 @@ import (
 
 	"windowctl/internal/channel"
 	"windowctl/internal/des"
+	"windowctl/internal/metrics"
 	"windowctl/internal/rngutil"
 	"windowctl/internal/station"
 	"windowctl/internal/stats"
@@ -44,8 +45,10 @@ type multiState struct {
 	trackers  []*window.Tracker
 	resolvers []*window.Resolver
 	policies  []window.Policy // per-station replica (common randomness)
+	col       metrics.Collector
 	rep       Report
 	lastTxEnd float64
+	resident  int64 // messages still queued anywhere when the run ended
 	runErr    error
 }
 
@@ -64,7 +67,12 @@ func RunMultiStation(cfg MultiConfig) (Report, error) {
 		cfg:    cfg,
 		kernel: des.New(),
 		ch:     channel.New(cfg.Tau, cfg.M*cfg.Tau),
+		col:    metrics.OrNop(cfg.Collector),
 	}
+	// Slots are recorded by the channel, arrivals and discards by the
+	// stations; the collector sees the same event stream the global-view
+	// simulator reports directly.
+	m.ch.Observe(cfg.Collector)
 	m.rep.WaitHist = stats.NewHistogram(cfg.Tau, int(cfg.K/cfg.Tau)+64)
 	root := rngutil.New(cfg.Seed)
 	var nextID int64
@@ -77,7 +85,9 @@ func RunMultiStation(cfg MultiConfig) (Report, error) {
 				return Report{}, fmt.Errorf("sim: Arrivals returned nil for station %d", i)
 			}
 		}
-		m.stations = append(m.stations, station.New(i, proc, root.Spawn(), &nextID))
+		st := station.New(i, proc, root.Spawn(), &nextID)
+		st.Observe(cfg.Collector)
+		m.stations = append(m.stations, st)
 		m.trackers = append(m.trackers, window.NewTracker(0, cfg.K, cfg.Policy.Discards()))
 		// A policy carrying common randomness is replicated per station:
 		// each replica makes the same draw sequence, as real stations
@@ -90,12 +100,18 @@ func RunMultiStation(cfg MultiConfig) (Report, error) {
 	}
 	m.resolvers = make([]*window.Resolver, cfg.Stations)
 
+	checkpoint, check := conservationStart(cfg.Collector)
 	m.kernel.Schedule(0, 0, m.slot)
 	m.kernel.RunUntil(cfg.EndTime)
 	if m.runErr != nil {
 		return m.rep, m.runErr
 	}
 	m.finish()
+	if check != nil {
+		if err := check.CheckConservation(checkpoint, m.resident, m.ch.Stats().TotalTime()); err != nil {
+			return m.rep, fmt.Errorf("sim: %w", err)
+		}
+	}
 	return m.rep, nil
 }
 
@@ -213,6 +229,9 @@ func (m *multiState) beginProcess(now float64) bool {
 		}
 		m.resolvers[i] = r
 	}
+	// Only one of the (identical, lockstep) resolvers observes, or every
+	// split would be counted once per station.
+	m.resolvers[0].Observe(m.cfg.Collector)
 	return true
 }
 
@@ -223,6 +242,7 @@ func (m *multiState) measured(arrival float64) bool {
 func (m *multiState) recordTransmission(msg station.Message, successStart, txEnd float64) {
 	m.rep.Transmissions++
 	trueWait := successStart - msg.Arrival
+	m.col.RecordTransmission(trueWait, trueWait <= m.cfg.K)
 	if m.measured(msg.Arrival) {
 		m.rep.TrueWait.Add(trueWait)
 		m.rep.WaitHist.Add(trueWait)
@@ -246,6 +266,7 @@ func (m *multiState) finish() {
 			if !ok {
 				break
 			}
+			m.resident++
 			if !m.measured(msg.Arrival) {
 				continue
 			}
@@ -257,6 +278,7 @@ func (m *multiState) finish() {
 			m.rep.EndBacklog++
 		}
 	}
+	m.col.RecordEndPending(m.rep.LostPending, m.rep.Censored)
 	st := m.ch.Stats()
 	m.rep.IdleSlots = st.IdleSlots
 	m.rep.CollisionSlots = st.CollisionSlots

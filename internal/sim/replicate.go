@@ -32,6 +32,9 @@ func RunReplicated(cfg Config, n int) (Replicated, error) {
 	if cfg.RateEstimator != nil {
 		return Replicated{}, fmt.Errorf("sim: a shared RateEstimator cannot be replicated; give each run its own")
 	}
+	if cfg.Collector != nil {
+		return Replicated{}, fmt.Errorf("sim: a shared Collector cannot be replicated (replications run concurrently); collect per run and Merge instead")
+	}
 	runs := make([]Report, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup

@@ -9,14 +9,32 @@
 // of its successful transmission — exceeds the constraint K, whether the
 // loss happens at the sender (discarded under policy element (4)) or at
 // the receiver (transmitted too late).
+//
+// Both simulators accept a metrics.Collector (Config.Collector) that
+// receives every slot-level protocol event of the run; when the
+// collector can verify the conservation invariants (as
+// *metrics.SlotMetrics can), the simulators check them after the run and
+// fail on violation, so instrumented runs audit their own accounting.
+// See internal/metrics and docs/OBSERVABILITY.md.
 package sim
 
 import (
 	"fmt"
 	"math"
 
+	"windowctl/internal/metrics"
 	"windowctl/internal/stats"
 )
+
+// conservationStart checkpoints a collector that supports conservation
+// checking; the returned checker is nil when c is nil or cannot verify
+// invariants.
+func conservationStart(c metrics.Collector) (metrics.Checkpoint, metrics.ConservationChecker) {
+	if checker, ok := c.(metrics.ConservationChecker); ok {
+		return checker.Checkpoint(), checker
+	}
+	return metrics.Checkpoint{}, nil
+}
 
 // Report aggregates the outcome of one simulation run.  Counters cover
 // only messages arriving after the warmup period.

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"windowctl/internal/metrics"
 	"windowctl/internal/rngutil"
 	"windowctl/internal/window"
 )
@@ -98,13 +99,14 @@ func (o *OnOff) String() string {
 
 // Station is one sender.
 type Station struct {
-	id      int
-	proc    ArrivalProcess
-	rng     *rngutil.Stream
-	nextID  *int64 // shared message-ID counter
-	nextAt  float64
-	queue   []Message // pending messages, ascending arrival time
-	created int64
+	id        int
+	proc      ArrivalProcess
+	rng       *rngutil.Stream
+	nextID    *int64 // shared message-ID counter
+	nextAt    float64
+	queue     []Message // pending messages, ascending arrival time
+	created   int64
+	collector metrics.Collector // nil unless Observe was called
 }
 
 // New creates a station.  nextID is a shared counter used to assign
@@ -121,6 +123,12 @@ func New(id int, proc ArrivalProcess, rng *rngutil.Stream, nextID *int64) *Stati
 // ID returns the station index.
 func (s *Station) ID() int { return s.id }
 
+// Observe attaches a metrics collector: generated arrivals and element-(4)
+// discards at this station are reported to it.  Pass nil to detach.  The
+// same collector may be shared by every station of a simulation — message
+// events are disjoint across stations.
+func (s *Station) Observe(c metrics.Collector) { s.collector = c }
+
 // GenerateUntil materializes every arrival with time <= t into the queue
 // and returns how many were added.
 func (s *Station) GenerateUntil(t float64) int {
@@ -136,6 +144,9 @@ func (s *Station) GenerateUntil(t float64) int {
 			panic("station: arrival process returned non-positive gap")
 		}
 		s.nextAt += gap
+	}
+	if s.collector != nil && added > 0 {
+		s.collector.RecordArrivals(int64(added))
 	}
 	return added
 }
@@ -176,6 +187,9 @@ func (s *Station) DiscardArrivedBefore(horizon float64) []Message {
 	}
 	dropped := append([]Message(nil), s.queue[:cut]...)
 	s.queue = append(s.queue[:0], s.queue[cut:]...)
+	if s.collector != nil {
+		s.collector.RecordDiscards(int64(cut))
+	}
 	return dropped
 }
 

@@ -181,6 +181,27 @@ func (h *Histogram) Add(x float64) {
 // N returns the number of observations.
 func (h *Histogram) N() int64 { return h.total }
 
+// SameShape reports whether the two histograms have identical bin width
+// and bin count, i.e. whether their bins are directly comparable.
+func (h *Histogram) SameShape(o *Histogram) bool {
+	return h.BinWidth == o.BinWidth && len(h.bins) == len(o.bins)
+}
+
+// Merge folds another histogram's counts into this one; the shapes must
+// match (it panics otherwise — merging incompatible bins is a caller
+// bug, not a recoverable condition).
+func (h *Histogram) Merge(o *Histogram) {
+	if !h.SameShape(o) {
+		panic("stats: merging histograms of different shape")
+	}
+	for i, c := range o.bins {
+		h.bins[i] += c
+	}
+	h.overflow += o.overflow
+	h.total += o.total
+	h.sum += o.sum
+}
+
 // Mean returns the exact mean of the raw observations (not binned).
 func (h *Histogram) Mean() float64 {
 	if h.total == 0 {

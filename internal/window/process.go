@@ -2,6 +2,8 @@ package window
 
 import (
 	"fmt"
+
+	"windowctl/internal/metrics"
 )
 
 // Feedback is the ternary outcome of one probe slot, observable by every
@@ -51,8 +53,9 @@ type Step struct {
 // window is found empty.  Every station runs an identical Resolver on the
 // common feedback, which is how the distributed stations stay in agreement.
 type Resolver struct {
-	policy Policy
-	view   View
+	policy    Policy
+	view      View
+	collector metrics.Collector // nil unless Observe was called
 
 	enabled    Window
 	sibling    Window // other half of the last split; status unknown
@@ -84,6 +87,12 @@ func NewResolver(p Policy, v View) (*Resolver, error) {
 	}
 	return &Resolver{policy: p, view: v, enabled: w}, nil
 }
+
+// Observe attaches a metrics collector to the process: every window
+// split is reported to it.  Pass nil to detach.  In the multi-station
+// simulation only one station's resolver should observe, or splits are
+// counted once per station.
+func (r *Resolver) Observe(c metrics.Collector) { r.collector = c }
 
 // Enabled returns the currently enabled window.  Stations transmit in the
 // next slot exactly when they hold a message whose arrival time lies in it.
@@ -186,6 +195,9 @@ func (r *Resolver) split(w Window) {
 		panic(fmt.Sprintf("window: split depth %d exceeded on %v — coincident arrival times?",
 			maxSplitDepth, w))
 	}
+	if r.collector != nil {
+		r.collector.RecordSplit()
+	}
 	frac := r.policy.SplitFraction(r.view, w, r.depth)
 	older, newer := w.Split(frac)
 	side := r.policy.ChooseSide(r.view, w, r.depth)
@@ -222,10 +234,18 @@ type ProcessReport struct {
 // execution mode used by the fast simulator and by the unit tests; the
 // multi-station simulator instead drives Resolver with real feedback.
 func RunProcess(p Policy, v View, count func(Window) int) (ProcessReport, error) {
+	return RunProcessObserved(p, v, count, nil)
+}
+
+// RunProcessObserved is RunProcess with a metrics collector attached to
+// the process (nil behaves exactly like RunProcess); window splits are
+// reported to it as they happen.
+func RunProcessObserved(p Policy, v View, count func(Window) int, c metrics.Collector) (ProcessReport, error) {
 	r, err := NewResolver(p, v)
 	if err != nil {
 		return ProcessReport{}, err
 	}
+	r.Observe(c)
 	for !r.Done() {
 		n := count(r.Enabled())
 		if n < 0 {

@@ -33,6 +33,7 @@ package windowctl
 import (
 	"windowctl/internal/core"
 	"windowctl/internal/dist"
+	"windowctl/internal/metrics"
 	"windowctl/internal/queueing"
 	"windowctl/internal/sim"
 )
@@ -68,6 +69,24 @@ type Report = sim.Report
 // Replicated aggregates independent simulation replications with
 // cross-replication confidence intervals.
 type Replicated = sim.Replicated
+
+// Collector receives slot-level protocol events from a simulation run;
+// attach one via SimOptions.Collector or Figure7Options.Metrics.
+type Collector = metrics.Collector
+
+// SlotMetrics is the concrete Collector counting idle/success/collision
+// slots, window splits, element-(4) discards, transmitted and lost
+// messages plus a waiting-time histogram of accepted messages.  Runs
+// instrumented with it verify the conservation invariants (see
+// docs/OBSERVABILITY.md) and fail on violation.
+type SlotMetrics = metrics.SlotMetrics
+
+// NewSlotMetrics returns a SlotMetrics whose accepted-wait histogram has
+// the given bin width and bin count; use binWidth = τ and enough bins to
+// cover K.  The zero-value SlotMetrics is also usable (no histogram).
+func NewSlotMetrics(binWidth float64, bins int) *SlotMetrics {
+	return metrics.NewSlotMetrics(binWidth, bins)
+}
 
 // Distribution is a non-negative probability law, usable as a message-
 // length model via System.TxLengths.
