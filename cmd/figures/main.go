@@ -8,6 +8,7 @@
 //
 //	figures [-panel all|RHO,M] [-sim] [-baselines] [-metrics] [-messages N]
 //	        [-seed S] [-parallel] [-workers N]
+//	        [-degradation] [-error-rates 0,0.01,...]
 //	        [-cpuprofile FILE] [-memprofile FILE]
 //
 // Examples:
@@ -18,6 +19,17 @@
 //	figures -panel 0.75,25 -sim    # a single panel
 //	figures -sim -metrics          # print per-run slot metrics tables too
 //	figures -sim -parallel=false   # force sequential evaluation
+//	figures -degradation           # loss vs. feedback-error rate per panel
+//
+// -degradation switches the harness into its imperfect-feedback mode: for
+// every constraint of each selected panel the controlled protocol is
+// simulated across a grid of feedback-error rates (-error-rates; all
+// three fault kinds — erasures, false collisions, missed collisions — at
+// the grid probability), and the panel table shows loss versus error
+// rate.  The rate-0 column is bit-identical to the perfect-feedback
+// simulation with the same seed; with -metrics the fault and recovery
+// counters of every faulty run are printed too, each run's conservation
+// invariants verified.
 //
 // Evaluation is parallel by default: the per-panel analytic solves and
 // per-(constraint, protocol) simulation runs are fanned over a bounded
@@ -52,9 +64,32 @@ func main() {
 	parallel := flag.Bool("parallel", true, "evaluate panels over a worker pool (output is identical either way)")
 	workers := flag.Int("workers", 0, "worker count for -parallel (0 = GOMAXPROCS)")
 	metricsFlag := flag.Bool("metrics", false, "collect and print per-run slot metrics (implies -sim; verifies conservation invariants)")
+	degradation := flag.Bool("degradation", false, "evaluate loss vs. feedback-error rate instead of the figure-7 curves")
+	errorRates := flag.String("error-rates", "", "comma-separated feedback-error grid for -degradation (default 0,0.01,0.02,0.05,0.1,0.2)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	usage := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "figures: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	// Validate numeric flags up front: a negative worker count or an
+	// out-of-range probability is a usage error, not a hang or a mid-run
+	// failure.
+	if *workers < 0 {
+		usage("-workers must be >= 0, got %d", *workers)
+	}
+	if !(*messages > 0) {
+		usage("-messages must be positive, got %v", *messages)
+	}
+	rates, err := parseRates(*errorRates)
+	if err != nil {
+		usage("%v", err)
+	}
+	if len(rates) > 0 && !*degradation {
+		usage("-error-rates only applies to -degradation")
+	}
 
 	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -83,6 +118,24 @@ func main() {
 	if !*parallel {
 		opt.Workers = 1
 	}
+
+	if *degradation {
+		dpanels, err := windowctl.DegradationPanels(specs, windowctl.DegradationOptions{
+			SimOptions: opt, ErrorRates: rates,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		for _, panel := range dpanels {
+			fmt.Println(panel.Format())
+			if *metricsFlag {
+				fmt.Println(panel.FaultTable())
+			}
+		}
+		return
+	}
+
 	panels, err := windowctl.Figure7Panels(specs, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
@@ -97,6 +150,26 @@ func main() {
 			fmt.Println(panel.Chart(64, 18))
 		}
 	}
+}
+
+// parseRates parses the -error-rates grid; every value must be a
+// probability, and 0 is allowed (it anchors the curve on the baseline).
+func parseRates(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -error-rates value %q: %v", part, err)
+		}
+		if !(v >= 0 && v <= 1) {
+			return nil, fmt.Errorf("-error-rates value %v outside [0, 1]", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func selectPanels(sel string) ([]windowctl.PanelSpec, error) {

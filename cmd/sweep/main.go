@@ -12,7 +12,16 @@
 // Usage:
 //
 //	sweep [-m 25] [-loads 0.25,0.5,0.75] [-km 0.5,1,2,4] [-sim] [-messages 50000]
+//	      [-feedback-error P] [-feedback-error-erasure P]
+//	      [-feedback-error-false-collision P] [-feedback-error-missed-collision P]
+//	      [-feedback-error-seed S]
 //	      [-metrics] [-cpuprofile FILE] [-memprofile FILE] > out.csv
+//
+// The -feedback-error family (requires -sim) injects imperfect channel
+// feedback into every simulated point: -feedback-error sets the per-slot
+// probability of all three fault kinds (erasure, false collision, missed
+// collision) at once, the per-kind flags override it individually, and
+// the analytic columns stay perfect-feedback for comparison.
 package main
 
 import (
@@ -34,9 +43,45 @@ func main() {
 	messages := flag.Float64("messages", 5e4, "offered messages per simulation point")
 	seed := flag.Uint64("seed", 1983, "simulation seed")
 	metricsFlag := flag.Bool("metrics", false, "aggregate slot-level metrics over the grid and print them to stderr (requires -sim)")
+	feAll := flag.Float64("feedback-error", 0, "per-slot probability applied to all three feedback-fault kinds (requires -sim)")
+	feErasure := flag.Float64("feedback-error-erasure", 0, "per-slot erasure probability (overrides -feedback-error)")
+	feFalse := flag.Float64("feedback-error-false-collision", 0, "per-slot false-collision probability (overrides -feedback-error)")
+	feMissed := flag.Float64("feedback-error-missed-collision", 0, "per-slot missed-collision probability (overrides -feedback-error)")
+	feSeed := flag.Uint64("feedback-error-seed", 0, "fault-schedule seed (0 = derive from -seed)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	// Validate numeric flags up front: a bad horizon or an out-of-range
+	// probability is a usage error, not something to discover mid-grid.
+	if !(*messages > 0) {
+		fail(fmt.Errorf("-messages must be positive, got %v", *messages))
+	}
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	kindRate := func(name string, v float64) float64 {
+		if explicit[name] {
+			return v
+		}
+		return *feAll
+	}
+	faults := windowctl.FaultConfig{
+		Rates: windowctl.FaultRates{
+			Erasure:         kindRate("feedback-error-erasure", *feErasure),
+			FalseCollision:  kindRate("feedback-error-false-collision", *feFalse),
+			MissedCollision: kindRate("feedback-error-missed-collision", *feMissed),
+		},
+		Seed: *feSeed,
+	}
+	if err := faults.Validate(); err != nil {
+		fail(err)
+	}
+	if faults.Enabled() && !*sim {
+		fail(fmt.Errorf("-feedback-error requires -sim (faults only exist in simulation)"))
+	}
+	if faults.Seed == 0 {
+		faults.Seed = *seed
+	}
 
 	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -92,7 +137,7 @@ func main() {
 			if *sim {
 				for _, d := range []windowctl.Discipline{windowctl.Controlled, windowctl.FCFS, windowctl.LCFS} {
 					sys := windowctl.System{M: *m, RhoPrime: rho, K: k, Discipline: d, Seed: *seed}
-					opt := windowctl.SimOptions{EndTime: *messages / sys.Lambda()}
+					opt := windowctl.SimOptions{EndTime: *messages / sys.Lambda(), Faults: faults}
 					if sm != nil {
 						opt.Collector = sm
 					}

@@ -14,7 +14,19 @@
 //
 //	windowsim -rho 0.75 -m 25 -km 2 [-discipline controlled|fcfs|lcfs|random]
 //	          [-stations N] [-messages 1e5] [-seed S] [-g G]
+//	          [-feedback-error P] [-feedback-error-erasure P]
+//	          [-feedback-error-false-collision P] [-feedback-error-missed-collision P]
+//	          [-feedback-error-seed S] [-feedback-error-per-station]
 //	          [-metrics] [-cpuprofile FILE] [-memprofile FILE]
+//
+// The -feedback-error family injects imperfect channel feedback: erased
+// slots, false collisions and missed collisions at the given per-slot
+// probabilities, with the protocol's recovery path enabled.
+// -feedback-error sets all three kinds at once; the per-kind flags
+// override it individually.  With -feedback-error-per-station (multi-
+// station runs only) each station senses the channel independently and
+// stations can desynchronize — detected desyncs and recoveries appear in
+// the -metrics output.
 package main
 
 import (
@@ -40,9 +52,57 @@ func main() {
 	replications := flag.Int("replications", 0, "run N independent replications and report a cross-replication CI")
 	expLen := flag.Bool("explen", false, "exponential message lengths (mean M·τ) instead of fixed")
 	metricsFlag := flag.Bool("metrics", false, "collect and print slot-level metrics (verifies conservation invariants)")
+	feAll := flag.Float64("feedback-error", 0, "per-slot probability applied to all three feedback-fault kinds")
+	feErasure := flag.Float64("feedback-error-erasure", 0, "per-slot erasure probability (overrides -feedback-error)")
+	feFalse := flag.Float64("feedback-error-false-collision", 0, "per-slot false-collision probability (overrides -feedback-error)")
+	feMissed := flag.Float64("feedback-error-missed-collision", 0, "per-slot missed-collision probability (overrides -feedback-error)")
+	feSeed := flag.Uint64("feedback-error-seed", 0, "fault-schedule seed (0 = derive from -seed)")
+	fePerStation := flag.Bool("feedback-error-per-station", false, "stations sense the channel independently and can desynchronize (needs -stations)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	usage := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "windowsim: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	// Validate numeric flags up front: a negative count or an out-of-range
+	// probability is a usage error, not something to discover mid-run.
+	if !(*messages > 0) {
+		usage("-messages must be positive, got %v", *messages)
+	}
+	if *replications < 0 {
+		usage("-replications must be >= 0, got %d", *replications)
+	}
+	if *stations < 0 {
+		usage("-stations must be >= 0, got %d", *stations)
+	}
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	kindRate := func(name string, v float64) float64 {
+		if explicit[name] {
+			return v
+		}
+		return *feAll
+	}
+	faults := windowctl.FaultConfig{
+		Rates: windowctl.FaultRates{
+			Erasure:         kindRate("feedback-error-erasure", *feErasure),
+			FalseCollision:  kindRate("feedback-error-false-collision", *feFalse),
+			MissedCollision: kindRate("feedback-error-missed-collision", *feMissed),
+		},
+		Seed:       *feSeed,
+		PerStation: *fePerStation,
+	}
+	if err := faults.Validate(); err != nil {
+		usage("%v", err)
+	}
+	if faults.PerStation && *stations == 0 {
+		usage("-feedback-error-per-station needs -stations > 0 (the global view has no stations to desynchronize)")
+	}
+	if faults.Seed == 0 {
+		faults.Seed = *seed
+	}
 
 	stopProfiles, profErr := profiling.Start(*cpuProfile, *memProfile)
 	if profErr != nil {
@@ -80,7 +140,7 @@ func main() {
 	if *expLen {
 		sys.TxLengths = windowctl.ExponentialLength(*m * *tau)
 	}
-	opt := windowctl.SimOptions{EndTime: *messages / sys.Lambda()}
+	opt := windowctl.SimOptions{EndTime: *messages / sys.Lambda(), Faults: faults}
 	var sm *windowctl.SlotMetrics
 	if *metricsFlag {
 		if *replications > 1 {

@@ -108,3 +108,58 @@ func (c *Channel) ResolveSlot(transmitters int) (window.Feedback, float64) {
 
 // Stats returns a copy of the accumulated accounts.
 func (c *Channel) Stats() Stats { return c.stats }
+
+// Classify returns the true feedback for a transmitter count without
+// accounting for the slot — the physical-layer truth the fault layer
+// (internal/fault) corrupts into per-station perceptions.  It panics on a
+// negative count.
+func Classify(transmitters int) window.Feedback {
+	switch {
+	case transmitters < 0:
+		panic(fmt.Sprintf("channel: %d transmitters", transmitters))
+	case transmitters == 0:
+		return window.Idle
+	case transmitters == 1:
+		return window.Success
+	default:
+		return window.Collision
+	}
+}
+
+// AccountSlot records one slot whose true outcome is truth and returns
+// its duration, for imperfect-feedback runs where delivery is decided by
+// the *sender's perception* rather than by the truth alone: a successful
+// transmission whose sender misread its own slot (false collision or
+// erasure) is aborted — the slot is accounted as a collision costing τ
+// and carries no message.  With delivered == (truth == Success) it is
+// exactly ResolveSlot's accounting.  It panics when delivered is claimed
+// on a non-success slot.
+func (c *Channel) AccountSlot(truth window.Feedback, delivered bool) float64 {
+	if delivered && truth != window.Success {
+		panic(fmt.Sprintf("channel: delivery claimed on a %v slot", truth))
+	}
+	switch {
+	case truth == window.Idle:
+		c.stats.IdleSlots++
+		c.stats.WastedTime += c.tau
+		if c.collector != nil {
+			c.collector.RecordSlots(metrics.SlotIdle, 1, c.tau)
+		}
+		return c.tau
+	case delivered:
+		c.stats.SuccessSlots++
+		c.stats.BusyTime += c.txTime
+		if c.collector != nil {
+			c.collector.RecordSlots(metrics.SlotSuccess, 1, c.txTime)
+		}
+		return c.txTime
+	default:
+		// True collision, or an aborted (sender-misread) transmission.
+		c.stats.CollisionSlots++
+		c.stats.WastedTime += c.tau
+		if c.collector != nil {
+			c.collector.RecordSlots(metrics.SlotCollision, 1, c.tau)
+		}
+		return c.tau
+	}
+}

@@ -71,3 +71,49 @@ func TestNegativeTransmittersPanics(t *testing.T) {
 	}()
 	New(1, 10).ResolveSlot(-1)
 }
+
+func TestClassify(t *testing.T) {
+	if Classify(0) != window.Idle || Classify(1) != window.Success || Classify(2) != window.Collision || Classify(9) != window.Collision {
+		t.Fatal("Classify misclassifies")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative transmitter count accepted")
+		}
+	}()
+	Classify(-1)
+}
+
+// TestAccountSlot pins the imperfect-feedback accounting: idle slots stay
+// idle whatever the perception, a delivered success costs the
+// transmission time, and an undelivered success (sender misread — an
+// aborted transmission) costs τ as a collision slot, matching ResolveSlot
+// whenever delivered == (truth == Success).
+func TestAccountSlot(t *testing.T) {
+	c := New(1, 25)
+	if d := c.AccountSlot(window.Idle, false); d != 1 {
+		t.Fatalf("idle slot duration %v", d)
+	}
+	if d := c.AccountSlot(window.Success, true); d != 25 {
+		t.Fatalf("delivered success duration %v", d)
+	}
+	if d := c.AccountSlot(window.Success, false); d != 1 {
+		t.Fatalf("aborted success duration %v", d)
+	}
+	if d := c.AccountSlot(window.Collision, false); d != 1 {
+		t.Fatalf("collision duration %v", d)
+	}
+	st := c.Stats()
+	if st.IdleSlots != 1 || st.SuccessSlots != 1 || st.CollisionSlots != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.BusyTime != 25 || st.WastedTime != 3 {
+		t.Fatalf("times %+v", st)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("delivery on a collision slot accepted")
+		}
+	}()
+	c.AccountSlot(window.Collision, true)
+}

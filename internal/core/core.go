@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"windowctl/internal/dist"
+	"windowctl/internal/fault"
 	"windowctl/internal/metrics"
 	"windowctl/internal/queueing"
 	"windowctl/internal/rngutil"
@@ -220,6 +221,11 @@ type SimOptions struct {
 	// violation.  Not supported by SimulateReplicated (replications run
 	// concurrently).
 	Collector metrics.Collector
+	// Faults injects imperfect channel feedback (erasures, false and
+	// missed collisions) into the run; the zero value keeps feedback
+	// perfect and the run bit-identical to a build without the fault
+	// layer.  See fault.Config.
+	Faults fault.Config
 }
 
 func (s System) simConfig(opt SimOptions) (sim.Config, error) {
@@ -242,7 +248,7 @@ func (s System) simConfig(opt SimOptions) (sim.Config, error) {
 	return sim.Config{
 		Policy: pol, Tau: s.Tau, M: s.M, Lambda: s.Lambda(), K: s.K,
 		EndTime: end, Warmup: warm, Seed: s.Seed, MaxBacklog: opt.MaxBacklog,
-		TxLengths: s.TxLengths, Collector: opt.Collector,
+		TxLengths: s.TxLengths, Collector: opt.Collector, Faults: opt.Faults,
 	}, nil
 }
 

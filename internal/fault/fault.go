@@ -1,0 +1,163 @@
+// Package fault injects imperfect channel feedback into the simulators:
+// a deterministic, seedable model of the sensing errors real multiple-
+// access channels exhibit (Galtier's tournament-MAC motivation for
+// 802.11), sitting between the channel's true slot outcome and the
+// feedback each station's Resolver consumes.
+//
+// Three fault kinds are modelled, each with an independent per-slot
+// probability:
+//
+//   - erasure: the station reads the slot as noise and cannot classify it
+//     at all; the resolver must treat the probed window conservatively
+//     (it aborts to a bounded re-enable — see window.Resolver recovery);
+//   - false collision: an idle or success slot is misread as a collision,
+//     driving phantom window splits;
+//   - missed collision: a collision is misread as a success, silently
+//     stranding the collided messages inside a window the protocol
+//     believes examined.
+//
+// Perception is a pure function of (seed, slot index, station): the model
+// draws no state from a sequential stream, so the fault schedule of a run
+// is bit-identical at any worker count and under any re-ordering of the
+// work, and two stations perceive the same slot identically unless
+// PerStation is set (in which case their draws are independent and the
+// distributed state machines can disagree — the desynchronization the
+// engines detect and recover from).
+//
+// Physical-layer semantics (documented here once, relied on by both
+// engines): faults corrupt *perception only* — carrier sensing and slot
+// durations stay reliable, and message delivery is gated on the sending
+// station's own perception.  A true success whose sender misreads its
+// slot is an aborted transmission: the slot costs τ, the message stays
+// queued.  A missed collision delivers nothing — the collided messages
+// remain pending inside a region the (deceived) protocol marks examined,
+// to be rescued only by element-(4) deadline discards.
+package fault
+
+import (
+	"fmt"
+
+	"windowctl/internal/metrics"
+	"windowctl/internal/rngutil"
+	"windowctl/internal/window"
+)
+
+// Rates holds the independent per-slot fault probabilities, each in [0, 1].
+type Rates struct {
+	// Erasure is the probability a station reads a slot as noise.
+	Erasure float64
+	// FalseCollision is the probability an idle or success slot is
+	// misread as a collision.
+	FalseCollision float64
+	// MissedCollision is the probability a collision is misread as a
+	// success.
+	MissedCollision float64
+}
+
+// Zero reports whether every rate is exactly zero.
+func (r Rates) Zero() bool { return r.Erasure == 0 && r.FalseCollision == 0 && r.MissedCollision == 0 }
+
+// Validate checks every rate lies in [0, 1].
+func (r Rates) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"erasure", r.Erasure},
+		{"false-collision", r.FalseCollision},
+		{"missed-collision", r.MissedCollision},
+	} {
+		if p.v < 0 || p.v > 1 || p.v != p.v {
+			return fmt.Errorf("fault: %s rate %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	return nil
+}
+
+// Scale returns the rates multiplied by f (the degradation-curve axis).
+func (r Rates) Scale(f float64) Rates {
+	return Rates{
+		Erasure:         r.Erasure * f,
+		FalseCollision:  r.FalseCollision * f,
+		MissedCollision: r.MissedCollision * f,
+	}
+}
+
+// Config configures the fault model of one run.  The zero value disables
+// fault injection entirely: a Config with all-zero Rates is exactly the
+// perfect-feedback protocol, bit for bit.
+type Config struct {
+	// Rates are the per-slot fault probabilities.
+	Rates Rates
+	// Seed drives the fault schedule, independently of the simulation's
+	// own randomness (so the same traffic can be replayed under different
+	// fault schedules and vice versa).
+	Seed uint64
+	// PerStation draws each station's perception independently, so
+	// stations can disagree about the same slot and desynchronize; when
+	// false every station perceives the same (possibly corrupted)
+	// feedback.  Only the multi-station simulator distinguishes stations.
+	PerStation bool
+}
+
+// Enabled reports whether the model can inject anything.
+func (c Config) Enabled() bool { return !c.Rates.Zero() }
+
+// Validate checks the configuration.
+func (c Config) Validate() error { return c.Rates.Validate() }
+
+// Injector perceives slots for one run.  It is stateless apart from the
+// configuration and safe for concurrent use.
+type Injector struct {
+	cfg Config
+}
+
+// NewInjector validates cfg and returns the run's injector.
+func NewInjector(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{cfg: cfg}, nil
+}
+
+// PerStation reports whether stations draw independent perceptions.
+func (inj *Injector) PerStation() bool { return inj.cfg.PerStation }
+
+// Draw tags separating the independent uniforms of one (slot, station).
+const (
+	drawErasure = iota + 1
+	drawMisread
+)
+
+// uniform returns the counter-based uniform in [0, 1) for one decision.
+func (inj *Injector) uniform(slot int64, station int, tag uint64) float64 {
+	if !inj.cfg.PerStation {
+		station = 0
+	}
+	u := rngutil.Mix64(inj.cfg.Seed, uint64(slot), uint64(station), tag)
+	return float64(u>>11) / (1 << 53)
+}
+
+// Perceive returns the feedback the given station perceives for slot
+// index slot whose true outcome is truth, together with the fault kind
+// injected (valid only when faulted is true).  Erasure is drawn first;
+// the kind-specific misread applies only to un-erased slots.  Truth must
+// be one of Idle, Success, Collision.
+func (inj *Injector) Perceive(slot int64, station int, truth window.Feedback) (perceived window.Feedback, kind metrics.FaultKind, faulted bool) {
+	if inj.cfg.Rates.Erasure > 0 && inj.uniform(slot, station, drawErasure) < inj.cfg.Rates.Erasure {
+		return window.Erased, metrics.FaultErasure, true
+	}
+	switch truth {
+	case window.Idle, window.Success:
+		if inj.cfg.Rates.FalseCollision > 0 && inj.uniform(slot, station, drawMisread) < inj.cfg.Rates.FalseCollision {
+			return window.Collision, metrics.FaultFalseCollision, true
+		}
+	case window.Collision:
+		if inj.cfg.Rates.MissedCollision > 0 && inj.uniform(slot, station, drawMisread) < inj.cfg.Rates.MissedCollision {
+			return window.Success, metrics.FaultMissedCollision, true
+		}
+	default:
+		panic(fmt.Sprintf("fault: cannot perceive truth %v", truth))
+	}
+	return truth, 0, false
+}

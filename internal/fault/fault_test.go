@@ -1,0 +1,180 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"windowctl/internal/metrics"
+	"windowctl/internal/window"
+)
+
+func TestRatesValidate(t *testing.T) {
+	good := []Rates{{}, {Erasure: 1}, {Erasure: 0.5, FalseCollision: 0.5, MissedCollision: 0.5}}
+	for _, r := range good {
+		if err := r.Validate(); err != nil {
+			t.Errorf("%+v rejected: %v", r, err)
+		}
+	}
+	bad := []Rates{
+		{Erasure: -0.1},
+		{FalseCollision: 1.01},
+		{MissedCollision: math.NaN()},
+	}
+	for _, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("%+v accepted", r)
+		}
+	}
+	if !(Rates{}).Zero() || (Rates{MissedCollision: 1e-9}).Zero() {
+		t.Error("Zero() misclassifies")
+	}
+	if (Config{}).Enabled() || !(Config{Rates: Rates{Erasure: 0.1}}).Enabled() {
+		t.Error("Enabled() misclassifies")
+	}
+	if _, err := NewInjector(Config{Rates: Rates{Erasure: 2}}); err == nil {
+		t.Error("NewInjector accepted an invalid rate")
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := Rates{Erasure: 1, FalseCollision: 0.5, MissedCollision: 0}.Scale(0.1)
+	want := Rates{Erasure: 0.1, FalseCollision: 0.05}
+	if s != want {
+		t.Fatalf("Scale: got %+v want %+v", s, want)
+	}
+}
+
+// TestPerceiveIsPure pins the counter-based contract: Perceive is a pure
+// function of (seed, slot, station, truth) — same inputs, same output, in
+// any call order, which is what makes fault schedules independent of
+// worker scheduling.
+func TestPerceiveIsPure(t *testing.T) {
+	inj, err := NewInjector(Config{
+		Rates: Rates{Erasure: 0.2, FalseCollision: 0.2, MissedCollision: 0.2},
+		Seed:  7, PerStation: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truths := []window.Feedback{window.Idle, window.Success, window.Collision}
+	type key struct {
+		slot    int64
+		station int
+		truth   window.Feedback
+	}
+	first := map[key]window.Feedback{}
+	for pass := 0; pass < 2; pass++ {
+		for slot := int64(0); slot < 200; slot++ {
+			for station := 0; station < 3; station++ {
+				for _, truth := range truths {
+					got, _, _ := inj.Perceive(slot, station, truth)
+					k := key{slot, station, truth}
+					if pass == 0 {
+						first[k] = got
+					} else if first[k] != got {
+						t.Fatalf("Perceive(%v) not pure: %v then %v", k, first[k], got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPerceiveTransitions checks each fault maps truth to the right
+// perception and kind, and that impossible transitions never occur.
+func TestPerceiveTransitions(t *testing.T) {
+	inj, _ := NewInjector(Config{
+		Rates: Rates{Erasure: 0.3, FalseCollision: 0.3, MissedCollision: 0.3},
+		Seed:  99,
+	})
+	counts := map[metrics.FaultKind]int{}
+	for slot := int64(0); slot < 5000; slot++ {
+		for _, truth := range []window.Feedback{window.Idle, window.Success, window.Collision} {
+			got, kind, faulted := inj.Perceive(slot, 0, truth)
+			if !faulted {
+				if got != truth {
+					t.Fatalf("unfaulted slot changed %v to %v", truth, got)
+				}
+				continue
+			}
+			counts[kind]++
+			switch kind {
+			case metrics.FaultErasure:
+				if got != window.Erased {
+					t.Fatalf("erasure perceived as %v", got)
+				}
+			case metrics.FaultFalseCollision:
+				if got != window.Collision || truth == window.Collision {
+					t.Fatalf("false collision: truth %v perceived %v", truth, got)
+				}
+			case metrics.FaultMissedCollision:
+				if got != window.Success || truth != window.Collision {
+					t.Fatalf("missed collision: truth %v perceived %v", truth, got)
+				}
+			default:
+				t.Fatalf("unknown fault kind %v", kind)
+			}
+		}
+	}
+	for _, k := range []metrics.FaultKind{metrics.FaultErasure, metrics.FaultFalseCollision, metrics.FaultMissedCollision} {
+		if counts[k] == 0 {
+			t.Errorf("no %v observed in 5000 slots at rate 0.3", k)
+		}
+	}
+}
+
+// TestPerceiveRates checks the empirical fault frequencies track the
+// configured probabilities (law of large numbers; 3σ tolerance).
+func TestPerceiveRates(t *testing.T) {
+	const n = 200000
+	p := 0.1
+	inj, _ := NewInjector(Config{Rates: Rates{Erasure: p}, Seed: 5})
+	faults := 0
+	for slot := int64(0); slot < n; slot++ {
+		if _, _, faulted := inj.Perceive(slot, 0, window.Idle); faulted {
+			faults++
+		}
+	}
+	got := float64(faults) / n
+	sigma := math.Sqrt(p * (1 - p) / n)
+	if math.Abs(got-p) > 3*sigma {
+		t.Fatalf("erasure frequency %v, want %v +- %v", got, p, 3*sigma)
+	}
+}
+
+// TestPerStationIndependence: with PerStation unset every station
+// perceives a slot identically; with it set, stations must disagree on
+// some slots (independent draws).
+func TestPerStationIndependence(t *testing.T) {
+	rates := Rates{Erasure: 0.2, FalseCollision: 0.2, MissedCollision: 0.2}
+	shared, _ := NewInjector(Config{Rates: rates, Seed: 3})
+	indep, _ := NewInjector(Config{Rates: rates, Seed: 3, PerStation: true})
+	disagreements := 0
+	for slot := int64(0); slot < 2000; slot++ {
+		s0, _, _ := shared.Perceive(slot, 0, window.Success)
+		s1, _, _ := shared.Perceive(slot, 1, window.Success)
+		if s0 != s1 {
+			t.Fatalf("shared perception diverged at slot %d: %v vs %v", slot, s0, s1)
+		}
+		i0, _, _ := indep.Perceive(slot, 0, window.Success)
+		i1, _, _ := indep.Perceive(slot, 1, window.Success)
+		if i0 != i1 {
+			disagreements++
+		}
+	}
+	if disagreements == 0 {
+		t.Fatal("per-station perception never disagreed in 2000 slots at rate 0.2")
+	}
+}
+
+func TestPerceiveBadTruthPanics(t *testing.T) {
+	// No erasure rate: the erasure draw cannot fire, so the type switch —
+	// and its panic on a non-truth value — is always reached.
+	inj, _ := NewInjector(Config{Rates: Rates{MissedCollision: 0.1}, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Perceive accepted Erased as truth")
+		}
+	}()
+	inj.Perceive(0, 0, window.Erased)
+}

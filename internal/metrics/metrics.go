@@ -71,6 +71,37 @@ func (o SlotOutcome) String() string {
 	}
 }
 
+// FaultKind classifies one injected feedback fault (see internal/fault):
+// the three ways imperfect channel sensing can corrupt the ternary
+// feedback a station perceives.
+type FaultKind int
+
+// FaultKind values.
+const (
+	// FaultErasure: a station read the slot as noise and could not
+	// classify it at all.
+	FaultErasure FaultKind = iota
+	// FaultFalseCollision: an idle or success slot was misread as a
+	// collision.
+	FaultFalseCollision
+	// FaultMissedCollision: a collision was misread as a success.
+	FaultMissedCollision
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultErasure:
+		return "erasure"
+	case FaultFalseCollision:
+		return "false-collision"
+	case FaultMissedCollision:
+		return "missed-collision"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
 // Collector receives protocol events from the simulation engines.  The
 // engines call it unconditionally on their hot paths, so implementations
 // must be cheap and must not retain the arguments; Nop is the
@@ -129,6 +160,43 @@ func OrNop(c Collector) Collector {
 	return c
 }
 
+// FaultObserver is the optional Collector extension for imperfect-feedback
+// runs (internal/fault): collectors implementing it additionally receive
+// every injected feedback fault, every triggered protocol recovery, and
+// every detected inter-station desynchronization.  Plain six-method
+// Collectors keep working — the engines fall back to a no-op observer.
+type FaultObserver interface {
+	// RecordFault reports one injected feedback fault of the given kind.
+	RecordFault(k FaultKind)
+	// RecordRecovery reports one triggered resolver recovery: a windowing
+	// process that aborted to a bounded re-enable of its window instead of
+	// completing, because its feedback view became untrustworthy.
+	RecordRecovery()
+	// RecordDesync reports one detected desynchronization event: stations
+	// whose per-station feedback perceptions drove their resolvers into
+	// disagreeing protocol states.
+	RecordDesync()
+}
+
+// RecordFault implements FaultObserver.
+func (Nop) RecordFault(FaultKind) {}
+
+// RecordRecovery implements FaultObserver.
+func (Nop) RecordRecovery() {}
+
+// RecordDesync implements FaultObserver.
+func (Nop) RecordDesync() {}
+
+// FaultObserverOrNop returns c's FaultObserver view, or a no-op observer
+// when c is nil or does not implement the extension, so engines can call
+// through an always-non-nil FaultObserver without branching per event.
+func FaultObserverOrNop(c Collector) FaultObserver {
+	if fo, ok := c.(FaultObserver); ok {
+		return fo
+	}
+	return Nop{}
+}
+
 // Checkpoint snapshots the conservation-relevant counters of a
 // SlotMetrics, delimiting the events of one run when a collector is
 // reused across runs (e.g. cmd/sweep aggregating a whole grid).
@@ -172,6 +240,15 @@ type SlotMetrics struct {
 	// PendingLost and PendingCensored classify the measured messages
 	// still pending at the end of the run.
 	PendingLost, PendingCensored int64
+	// Erasures, FalseCollisions and MissedCollisions count injected
+	// feedback faults by kind (imperfect-feedback runs; zero otherwise).
+	Erasures, FalseCollisions, MissedCollisions int64
+	// Recoveries counts windowing processes that aborted to a bounded
+	// re-enable of their window after untrustworthy feedback.
+	Recoveries int64
+	// Desyncs counts detected inter-station desynchronization events
+	// (per-station faults only).
+	Desyncs int64
 	// IdleTime, BusyTime and CollisionTime partition the accounted
 	// channel time by slot outcome.
 	IdleTime, BusyTime, CollisionTime float64
@@ -232,6 +309,29 @@ func (m *SlotMetrics) RecordEndPending(lost, censored int64) {
 	m.PendingLost += lost
 	m.PendingCensored += censored
 }
+
+// RecordFault implements FaultObserver.
+func (m *SlotMetrics) RecordFault(k FaultKind) {
+	switch k {
+	case FaultErasure:
+		m.Erasures++
+	case FaultFalseCollision:
+		m.FalseCollisions++
+	case FaultMissedCollision:
+		m.MissedCollisions++
+	default:
+		panic(fmt.Sprintf("metrics: unknown fault kind %d", int(k)))
+	}
+}
+
+// RecordRecovery implements FaultObserver.
+func (m *SlotMetrics) RecordRecovery() { m.Recoveries++ }
+
+// RecordDesync implements FaultObserver.
+func (m *SlotMetrics) RecordDesync() { m.Desyncs++ }
+
+// Faults returns the total number of injected feedback faults.
+func (m *SlotMetrics) Faults() int64 { return m.Erasures + m.FalseCollisions + m.MissedCollisions }
 
 // ElapsedTime returns the total channel time accounted for.
 func (m *SlotMetrics) ElapsedTime() float64 { return m.IdleTime + m.BusyTime + m.CollisionTime }
@@ -328,6 +428,11 @@ func (m *SlotMetrics) Merge(o *SlotMetrics) {
 	m.Late += o.Late
 	m.PendingLost += o.PendingLost
 	m.PendingCensored += o.PendingCensored
+	m.Erasures += o.Erasures
+	m.FalseCollisions += o.FalseCollisions
+	m.MissedCollisions += o.MissedCollisions
+	m.Recoveries += o.Recoveries
+	m.Desyncs += o.Desyncs
 	m.IdleTime += o.IdleTime
 	m.BusyTime += o.BusyTime
 	m.CollisionTime += o.CollisionTime
@@ -341,47 +446,57 @@ func (m *SlotMetrics) Merge(o *SlotMetrics) {
 // Snapshot is a flat, JSON-ready view of the counters plus the derived
 // rates; it is what the expvar exposition publishes.
 type Snapshot struct {
-	Arrivals        int64   `json:"arrivals"`
-	IdleSlots       int64   `json:"idle_slots"`
-	SuccessSlots    int64   `json:"success_slots"`
-	CollisionSlots  int64   `json:"collision_slots"`
-	Splits          int64   `json:"splits"`
-	Discards        int64   `json:"discards"`
-	Transmissions   int64   `json:"transmissions"`
-	Accepted        int64   `json:"accepted"`
-	Late            int64   `json:"late"`
-	PendingLost     int64   `json:"pending_lost"`
-	PendingCensored int64   `json:"pending_censored"`
-	IdleTime        float64 `json:"idle_time"`
-	BusyTime        float64 `json:"busy_time"`
-	CollisionTime   float64 `json:"collision_time"`
-	Utilization     float64 `json:"utilization"`
-	Loss            float64 `json:"loss"`
-	DiscardFraction float64 `json:"discard_fraction"`
-	WaitCount       int64   `json:"wait_count"`
-	WaitMean        float64 `json:"wait_mean"`
+	Arrivals         int64   `json:"arrivals"`
+	IdleSlots        int64   `json:"idle_slots"`
+	SuccessSlots     int64   `json:"success_slots"`
+	CollisionSlots   int64   `json:"collision_slots"`
+	Splits           int64   `json:"splits"`
+	Discards         int64   `json:"discards"`
+	Transmissions    int64   `json:"transmissions"`
+	Accepted         int64   `json:"accepted"`
+	Late             int64   `json:"late"`
+	PendingLost      int64   `json:"pending_lost"`
+	PendingCensored  int64   `json:"pending_censored"`
+	Erasures         int64   `json:"erasures"`
+	FalseCollisions  int64   `json:"false_collisions"`
+	MissedCollisions int64   `json:"missed_collisions"`
+	Recoveries       int64   `json:"recoveries"`
+	Desyncs          int64   `json:"desyncs"`
+	IdleTime         float64 `json:"idle_time"`
+	BusyTime         float64 `json:"busy_time"`
+	CollisionTime    float64 `json:"collision_time"`
+	Utilization      float64 `json:"utilization"`
+	Loss             float64 `json:"loss"`
+	DiscardFraction  float64 `json:"discard_fraction"`
+	WaitCount        int64   `json:"wait_count"`
+	WaitMean         float64 `json:"wait_mean"`
 }
 
 // Snapshot returns the current counter values and derived rates.
 func (m *SlotMetrics) Snapshot() Snapshot {
 	s := Snapshot{
-		Arrivals:        m.Arrivals,
-		IdleSlots:       m.IdleSlots,
-		SuccessSlots:    m.SuccessSlots,
-		CollisionSlots:  m.CollisionSlots,
-		Splits:          m.Splits,
-		Discards:        m.Discards,
-		Transmissions:   m.Transmissions,
-		Accepted:        m.Accepted,
-		Late:            m.Late,
-		PendingLost:     m.PendingLost,
-		PendingCensored: m.PendingCensored,
-		IdleTime:        m.IdleTime,
-		BusyTime:        m.BusyTime,
-		CollisionTime:   m.CollisionTime,
-		Utilization:     m.Utilization(),
-		Loss:            m.Loss(),
-		DiscardFraction: m.DiscardFraction(),
+		Arrivals:         m.Arrivals,
+		IdleSlots:        m.IdleSlots,
+		SuccessSlots:     m.SuccessSlots,
+		CollisionSlots:   m.CollisionSlots,
+		Splits:           m.Splits,
+		Discards:         m.Discards,
+		Transmissions:    m.Transmissions,
+		Accepted:         m.Accepted,
+		Late:             m.Late,
+		PendingLost:      m.PendingLost,
+		PendingCensored:  m.PendingCensored,
+		Erasures:         m.Erasures,
+		FalseCollisions:  m.FalseCollisions,
+		MissedCollisions: m.MissedCollisions,
+		Recoveries:       m.Recoveries,
+		Desyncs:          m.Desyncs,
+		IdleTime:         m.IdleTime,
+		BusyTime:         m.BusyTime,
+		CollisionTime:    m.CollisionTime,
+		Utilization:      m.Utilization(),
+		Loss:             m.Loss(),
+		DiscardFraction:  m.DiscardFraction(),
 	}
 	if m.WaitHist != nil {
 		s.WaitCount = m.WaitHist.N()
@@ -415,6 +530,10 @@ func (m *SlotMetrics) Format() string {
 	fmt.Fprintf(&b, "messages      arrivals=%d transmitted=%d accepted=%d late=%d discarded=%d pending(lost=%d censored=%d)\n",
 		m.Arrivals, m.Transmissions, m.Accepted, m.Late, m.Discards, m.PendingLost, m.PendingCensored)
 	fmt.Fprintf(&b, "loss          %.5f (discard fraction %.5f)\n", m.Loss(), m.DiscardFraction())
+	if m.Faults()+m.Recoveries+m.Desyncs > 0 {
+		fmt.Fprintf(&b, "faults        erasures=%d false-collisions=%d missed-collisions=%d recoveries=%d desyncs=%d\n",
+			m.Erasures, m.FalseCollisions, m.MissedCollisions, m.Recoveries, m.Desyncs)
+	}
 	if m.WaitHist != nil && m.WaitHist.N() > 0 {
 		fmt.Fprintf(&b, "accepted wait n=%d mean=%.4g p50=%.4g p95=%.4g p99=%.4g\n",
 			m.WaitHist.N(), m.WaitHist.Mean(),

@@ -255,3 +255,94 @@ func TestFormat(t *testing.T) {
 		t.Errorf("empty collector should omit the wait line:\n%s", out)
 	}
 }
+
+func TestFaultKindString(t *testing.T) {
+	cases := map[FaultKind]string{
+		FaultErasure:         "erasure",
+		FaultFalseCollision:  "false-collision",
+		FaultMissedCollision: "missed-collision",
+		FaultKind(9):         "FaultKind(9)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("FaultKind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestFaultCounters(t *testing.T) {
+	m := &SlotMetrics{}
+	m.RecordFault(FaultErasure)
+	m.RecordFault(FaultErasure)
+	m.RecordFault(FaultFalseCollision)
+	m.RecordFault(FaultMissedCollision)
+	m.RecordRecovery()
+	m.RecordDesync()
+	if m.Erasures != 2 || m.FalseCollisions != 1 || m.MissedCollisions != 1 {
+		t.Fatalf("fault counters %d/%d/%d", m.Erasures, m.FalseCollisions, m.MissedCollisions)
+	}
+	if m.Faults() != 4 || m.Recoveries != 1 || m.Desyncs != 1 {
+		t.Fatalf("totals faults=%d recoveries=%d desyncs=%d", m.Faults(), m.Recoveries, m.Desyncs)
+	}
+
+	other := &SlotMetrics{}
+	other.RecordFault(FaultErasure)
+	other.RecordRecovery()
+	m.Merge(other)
+	if m.Erasures != 3 || m.Recoveries != 2 {
+		t.Fatalf("merge lost fault counters: erasures=%d recoveries=%d", m.Erasures, m.Recoveries)
+	}
+
+	s := m.Snapshot()
+	if s.Erasures != 3 || s.FalseCollisions != 1 || s.MissedCollisions != 1 || s.Recoveries != 2 || s.Desyncs != 1 {
+		t.Fatalf("snapshot fault fields %+v", s)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown fault kind accepted")
+		}
+	}()
+	m.RecordFault(FaultKind(42))
+}
+
+// TestFormatFaultLineGated pins the output contract: fault-free runs must
+// render byte-identically to a build without the fault layer (no fault
+// line), while any fault, recovery or desync brings the line in.
+func TestFormatFaultLineGated(t *testing.T) {
+	m := &SlotMetrics{}
+	m.RecordArrivals(1)
+	if out := m.Format(); strings.Contains(out, "faults") {
+		t.Errorf("fault-free Format() mentions faults:\n%s", out)
+	}
+	m.RecordFault(FaultMissedCollision)
+	out := m.Format()
+	for _, want := range []string{"faults", "erasures=0", "missed-collisions=1", "recoveries=0", "desyncs=0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("faulty Format() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// faultBlindCollector implements only the base Collector interface —
+// deliberately not by embedding Nop, which would bring the FaultObserver
+// methods along and defeat the fallback this test exercises.
+type faultBlindCollector struct{}
+
+func (faultBlindCollector) RecordArrivals(int64)                    {}
+func (faultBlindCollector) RecordSlots(SlotOutcome, int64, float64) {}
+func (faultBlindCollector) RecordSplit()                            {}
+func (faultBlindCollector) RecordDiscards(int64)                    {}
+func (faultBlindCollector) RecordTransmission(float64, bool)        {}
+func (faultBlindCollector) RecordEndPending(int64, int64)           {}
+
+func TestFaultObserverOrNop(t *testing.T) {
+	sm := &SlotMetrics{}
+	if FaultObserverOrNop(sm) != FaultObserver(sm) {
+		t.Fatal("SlotMetrics not recognized as a FaultObserver")
+	}
+	// A collector without the extension gets the no-op observer, and nil
+	// stays safe.
+	FaultObserverOrNop(faultBlindCollector{}).RecordFault(FaultErasure)
+	FaultObserverOrNop(nil).RecordRecovery()
+}

@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"windowctl/internal/fault"
+	"windowctl/internal/metrics"
+	"windowctl/internal/queueing"
+	"windowctl/internal/rngutil"
+	"windowctl/internal/window"
+)
+
+// DefaultErrorRates is the standard feedback-error grid of the
+// degradation mode.  It starts at exactly 0 so every curve anchors on the
+// perfect-feedback baseline.
+var DefaultErrorRates = []float64{0, 0.01, 0.02, 0.05, 0.1, 0.2}
+
+// DegradationOptions parameterizes DegradationPanels.  The embedded
+// SimOptions keep their meaning (horizon, seed, metrics, workers);
+// Disable and Baselines are ignored — the degradation mode simulates the
+// controlled protocol only.
+type DegradationOptions struct {
+	SimOptions
+	// ErrorRates is the feedback-error grid ε; empty means
+	// DefaultErrorRates.  Each entry must lie in [0, 1].
+	ErrorRates []float64
+	// Mix sets the relative weight of the three fault kinds: at grid
+	// value ε the injected rates are Mix.Scale(ε).  The zero value means
+	// every kind at weight 1 (erasure = false collision = missed
+	// collision = ε); weights must lie in [0, 1] so the scaled rates stay
+	// probabilities.
+	Mix fault.Rates
+}
+
+// degradationFaultTag separates the fault schedule's seed stream from the
+// simulation seed it is derived from.  Like the proto* tags it is part of
+// the reproducibility contract.
+const degradationFaultTag = 0xfee0
+
+// DegradationPoint is one (constraint, error-rate) cell of a curve.
+type DegradationPoint struct {
+	// Rate is the grid value ε; Rates the effective per-kind
+	// probabilities Mix.Scale(ε) injected at this point.
+	Rate  float64
+	Rates fault.Rates
+	// Loss is the simulated loss of the controlled protocol, with
+	// Lo and Hi its 95% within-run confidence bounds.
+	Loss, Lo, Hi float64
+	// Metrics holds the run's slot- and fault-level counters when
+	// SimOptions.Metrics is set (nil otherwise).  Its conservation
+	// invariants were verified by the run that filled it.
+	Metrics *metrics.SlotMetrics
+}
+
+// DegradationRow is one constraint's loss curve across the error grid.
+type DegradationRow struct {
+	// KOverM and K give the constraint in message times and absolute time.
+	KOverM, K float64
+	// Points holds one entry per error rate, in grid order.
+	Points []DegradationPoint
+}
+
+// DegradationPanel is a fully evaluated degradation curve: loss versus
+// feedback-error rate for every constraint of one (ρ′, M) panel.
+type DegradationPanel struct {
+	Spec  PanelSpec
+	Rates []float64
+	Rows  []DegradationRow
+}
+
+// DegradationPanels evaluates loss-versus-feedback-error curves for the
+// given panels: for every (constraint, error rate) cell one controlled-
+// protocol run with fault injection at Mix.Scale(rate).  Three
+// reproducibility properties are part of the contract, all enforced by
+// tests: results are bit-identical at any Workers count (work-item seeds
+// derive from item identity, not scheduling order); the rate-0 column is
+// bit-identical to the corresponding Figure7Panels simulation (same item
+// seed, fault layer disabled); and all rates of one constraint share one
+// simulation seed (common random numbers), so a cell differs from its
+// neighbour only through the injected faults.
+func DegradationPanels(specs []PanelSpec, opt DegradationOptions) ([]DegradationPanel, error) {
+	rates := opt.ErrorRates
+	if len(rates) == 0 {
+		rates = append([]float64(nil), DefaultErrorRates...)
+	}
+	for _, r := range rates {
+		if r < 0 || r > 1 || math.IsNaN(r) {
+			return nil, fmt.Errorf("sim: error rate %v outside [0, 1]", r)
+		}
+	}
+	mix := opt.Mix
+	if mix.Zero() {
+		mix = fault.Rates{Erasure: 1, FalseCollision: 1, MissedCollision: 1}
+	}
+	if err := mix.Validate(); err != nil {
+		return nil, err
+	}
+
+	panels := make([]DegradationPanel, len(specs))
+	var jobs []func() error
+	for pi := range specs {
+		spec := specs[pi].withDefaults()
+		model := queueing.ProtocolModel{Tau: spec.Tau, M: spec.M, RhoPrime: spec.RhoPrime}
+		lambda := model.Lambda()
+		gStar := queueing.OptimalWindowContent()
+
+		endTime := opt.EndTime
+		if endTime == 0 {
+			messages := opt.Messages
+			if messages == 0 {
+				messages = 1e5
+			}
+			endTime = messages / lambda
+		}
+		warmup := opt.Warmup
+		if warmup == 0 {
+			warmup = endTime / 20
+		}
+
+		rows := make([]DegradationRow, len(spec.KOverM))
+		panels[pi] = DegradationPanel{Spec: spec, Rates: append([]float64(nil), rates...)}
+		panels[pi].Rows = rows
+		for i, km := range spec.KOverM {
+			i := i
+			k := km * spec.M * spec.Tau
+			rows[i] = DegradationRow{KOverM: km, K: k, Points: make([]DegradationPoint, len(rates))}
+			pts := rows[i].Points
+			// One simulation seed per constraint, shared by every rate of
+			// the row — and equal to the Figure7Panels item seed, pinning
+			// the ε = 0 cell to the perfect-feedback baseline bit for bit.
+			simSeed := itemSeed(opt.Seed, spec, i, protoControlled)
+			faultSeed := rngutil.Mix64(simSeed, degradationFaultTag)
+			for j, rate := range rates {
+				j, rate := j, rate
+				jobs = append(jobs, func() error {
+					cfg := Config{
+						Policy: window.Controlled{Length: window.FixedG(gStar)},
+						Tau:    spec.Tau, M: spec.M, Lambda: lambda, K: k,
+						EndTime: endTime, Warmup: warmup, Seed: simSeed,
+						Faults: fault.Config{Rates: mix.Scale(rate), Seed: faultSeed},
+					}
+					var sm *metrics.SlotMetrics
+					if opt.Metrics {
+						sm = metrics.NewSlotMetrics(spec.Tau, int(k/spec.Tau)+64)
+						cfg.Collector = sm
+					}
+					rep, err := RunGlobal(cfg)
+					if err != nil {
+						return fmt.Errorf("panel rho'=%v M=%v: degradation run at K=%v rate=%v: %w",
+							spec.RhoPrime, spec.M, k, rate, err)
+					}
+					lo, hi := rep.LossCI(0.95)
+					pts[j] = DegradationPoint{
+						Rate: rate, Rates: cfg.Faults.Rates,
+						Loss: rep.Loss(), Lo: lo, Hi: hi, Metrics: sm,
+					}
+					return nil
+				})
+			}
+		}
+	}
+	if err := runJobs(jobs, opt.Workers); err != nil {
+		return nil, err
+	}
+	return panels, nil
+}
+
+// Format renders the panel as an aligned text table: one row per
+// constraint, one loss column per feedback-error rate.
+func (p DegradationPanel) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Degradation curve: rho'=%.2f  M=%g  (loss fraction vs. feedback-error rate)\n",
+		p.Spec.RhoPrime, p.Spec.M)
+	fmt.Fprintf(&b, "%8s", "K/M")
+	for _, r := range p.Rates {
+		fmt.Fprintf(&b, " %12s", fmt.Sprintf("eps=%g", r))
+	}
+	b.WriteByte('\n')
+	for _, row := range p.Rows {
+		fmt.Fprintf(&b, "%8.2f", row.KOverM)
+		for _, pt := range row.Points {
+			fmt.Fprintf(&b, " %12.5f", pt.Loss)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FaultTable renders the fault and recovery counters of the panel's
+// instrumented runs (DegradationOptions.Metrics), one row per
+// (constraint, rate) cell with nonzero injected rates.
+func (p DegradationPanel) FaultTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fault metrics: rho'=%.2f  M=%g  (per run; invariants verified)\n",
+		p.Spec.RhoPrime, p.Spec.M)
+	fmt.Fprintf(&b, "%8s %8s %10s %12s %12s %11s %10s %10s\n",
+		"K/M", "eps", "erasures", "false-coll", "missed-coll", "recoveries", "discards", "loss")
+	rows := 0
+	for _, row := range p.Rows {
+		for _, pt := range row.Points {
+			if pt.Metrics == nil || pt.Rate == 0 {
+				continue
+			}
+			rows++
+			fmt.Fprintf(&b, "%8.2f %8g %10d %12d %12d %11d %10d %10.4f\n",
+				row.KOverM, pt.Rate,
+				pt.Metrics.Erasures, pt.Metrics.FalseCollisions, pt.Metrics.MissedCollisions,
+				pt.Metrics.Recoveries, pt.Metrics.Discards, pt.Metrics.Loss())
+		}
+	}
+	if rows == 0 {
+		b.WriteString("(no metrics collected — run with Metrics / -metrics and a nonzero rate)\n")
+	}
+	return b.String()
+}

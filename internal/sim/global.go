@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"windowctl/internal/dist"
+	"windowctl/internal/fault"
 	"windowctl/internal/metrics"
 	"windowctl/internal/rngutil"
 	"windowctl/internal/stats"
@@ -57,6 +58,15 @@ type Config struct {
 	// their conservation invariants verified at the end of the run, and
 	// an inconsistency fails the run.  Nil costs nothing.
 	Collector metrics.Collector
+	// Faults configures imperfect-feedback injection (see internal/fault):
+	// per-slot probabilities of erasures, false collisions and missed
+	// collisions corrupting the feedback the protocol perceives, with
+	// resolvers switched to their recovery path.  The zero value (all
+	// rates zero) disables the layer entirely and is bit-identical to the
+	// perfect-feedback simulation.  Faults do not combine with
+	// RateEstimator: corrupted idle/success observations would poison the
+	// estimate in ways the paper's adaptive extension does not model.
+	Faults fault.Config
 }
 
 func (c Config) validate() error {
@@ -77,6 +87,12 @@ func (c Config) validate() error {
 	}
 	if c.EndTime <= c.Warmup || c.Warmup < 0 {
 		return fmt.Errorf("sim: need 0 <= Warmup < EndTime (got %v, %v)", c.Warmup, c.EndTime)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if c.Faults.Enabled() && c.RateEstimator != nil {
+		return fmt.Errorf("sim: Faults do not combine with RateEstimator (corrupted feedback would poison the estimate)")
 	}
 	return nil
 }
@@ -101,6 +117,9 @@ type globalState struct {
 	rng     *rngutil.Stream
 	tracker *window.Tracker
 	col     metrics.Collector // never nil (Nop when uninstrumented)
+	inj     *fault.Injector   // nil unless fault injection is enabled
+	fo      metrics.FaultObserver
+	slotIdx int64 // probe-slot counter indexing the fault schedule
 	now     float64
 	pending []pendingMsg // ascending arrival time
 	nextArr float64
@@ -124,6 +143,14 @@ func RunGlobal(cfg Config) (Report, error) {
 		rng:     rngutil.New(cfg.Seed),
 		tracker: window.NewTracker(0, cfg.K, cfg.Policy.Discards()),
 		col:     metrics.OrNop(cfg.Collector),
+		fo:      metrics.FaultObserverOrNop(cfg.Collector),
+	}
+	if cfg.Faults.Enabled() {
+		inj, err := fault.NewInjector(cfg.Faults)
+		if err != nil {
+			return Report{}, err
+		}
+		g.inj = inj
 	}
 	g.rep.WaitHist = stats.NewHistogram(cfg.Tau, int(cfg.K/cfg.Tau)+64)
 	g.nextArr = g.rng.Exp(cfg.Lambda)
@@ -213,6 +240,12 @@ func (g *globalState) oneProcess() error {
 		g.now += g.cfg.Tau
 		return nil
 	}
+	if g.inj != nil {
+		// Imperfect feedback: run the process probe by probe against the
+		// fault layer (the idle fast-forward is unsound here — any slot,
+		// idle ones included, can be faulted).
+		return g.resolveFaulty(view)
+	}
 	if g.cfg.RateEstimator == nil && g.fastForwardIdle(view) {
 		// (With an estimator, idle probes carry information — they must
 		// be observed one by one, so the fast path is skipped.)
@@ -269,6 +302,109 @@ func (g *globalState) oneProcess() error {
 	}
 	if lo+1 < len(g.pending) && rep.SuccessWindow.Contains(g.pending[lo+1].arrival) {
 		return fmt.Errorf("sim: success window %v holds more than one message", rep.SuccessWindow)
+	}
+	msg := g.pending[lo]
+	g.pending = append(g.pending[:lo], g.pending[lo+1:]...)
+	g.rep.Transmissions++
+
+	trueWait := successStart - msg.arrival
+	g.col.RecordTransmission(trueWait, trueWait <= g.cfg.K)
+	if msg.measured {
+		g.rep.TrueWait.Add(trueWait)
+		g.rep.WaitHist.Add(trueWait)
+		schedStart := math.Max(g.lastTxEnd, msg.arrival)
+		g.rep.SchedulingSlots.Add((successStart - schedStart) / g.cfg.Tau)
+		if trueWait > g.cfg.K {
+			g.rep.LostLate++
+		} else {
+			g.rep.AcceptedInTime++
+		}
+	}
+	g.lastTxEnd = g.now
+	return nil
+}
+
+// resolveFaulty runs one windowing process under imperfect feedback: each
+// probe's true outcome (from the content oracle) passes through the fault
+// injector before reaching the fault-tolerant resolver, and message
+// delivery is gated on the *perceived* success of a truly successful slot
+// (a sender that misreads its own slot aborts the transmission; see the
+// internal/fault package doc for the physical-layer semantics).  Slot
+// accounting follows the physics: idle slots stay idle whatever the
+// perception, delivered successes cost the transmission time, and true
+// collisions or aborted transmissions cost τ as collision slots.
+func (g *globalState) resolveFaulty(view window.View) error {
+	// A false collision on an idle window starts a phantom split spiral:
+	// every probe comes back idle, the ">= 2 arrivals" belief is never
+	// contradicted, and only the depth bound (~100 wasted slots) stops it.
+	// The phantom give-up bound (window.View.MinSplitLen, the same defense
+	// the heterogeneous engine uses) cuts the spiral at sub-slot window
+	// lengths instead.
+	view.MinSplitLen = g.cfg.Tau / 1024
+	r, err := window.NewResolver(g.cfg.Policy, view)
+	if err != nil {
+		return err
+	}
+	r.SetFaultTolerant(true)
+	r.Observe(g.cfg.Collector)
+	for !r.Done() {
+		enabled := r.Enabled()
+		n := g.countIn(enabled)
+		var truth window.Feedback
+		switch {
+		case n == 0:
+			truth = window.Idle
+		case n == 1:
+			truth = window.Success
+		default:
+			truth = window.Collision
+		}
+		perceived, kind, faulted := g.inj.Perceive(g.slotIdx, 0, truth)
+		g.slotIdx++
+		if faulted {
+			g.fo.RecordFault(kind)
+		}
+		if truth == window.Success && perceived == window.Success {
+			txTime := g.cfg.M * g.cfg.Tau
+			if g.cfg.TxLengths != nil {
+				txTime = g.cfg.TxLengths.Sample(g.rng)
+			}
+			successStart := g.now
+			g.col.RecordSlots(metrics.SlotSuccess, 1, txTime)
+			g.now += txTime
+			if err := g.deliver(enabled, successStart); err != nil {
+				return err
+			}
+		} else if truth == window.Idle {
+			g.rep.IdleSlots++
+			g.col.RecordSlots(metrics.SlotIdle, 1, g.cfg.Tau)
+			g.now += g.cfg.Tau
+		} else {
+			// True collision, or a success aborted by the sender's misread.
+			g.rep.CollisionSlots++
+			g.col.RecordSlots(metrics.SlotCollision, 1, g.cfg.Tau)
+			g.now += g.cfg.Tau
+		}
+		r.OnFeedback(perceived)
+	}
+	g.tracker.Commit(g.now, r.Examined())
+	if r.Recovered() {
+		g.fo.RecordRecovery()
+	}
+	return nil
+}
+
+// deliver removes the single pending message inside the window of a
+// delivered (true and perceived) success and records its outcome.  The
+// truth said exactly one message lies inside, so anything else is an
+// engine bug.
+func (g *globalState) deliver(w window.Window, successStart float64) error {
+	lo := sort.Search(len(g.pending), func(i int) bool { return g.pending[i].arrival >= w.Start })
+	if lo >= len(g.pending) || !w.Contains(g.pending[lo].arrival) {
+		return fmt.Errorf("sim: success window %v holds no pending message", w)
+	}
+	if lo+1 < len(g.pending) && w.Contains(g.pending[lo+1].arrival) {
+		return fmt.Errorf("sim: success window %v holds more than one message", w)
 	}
 	msg := g.pending[lo]
 	g.pending = append(g.pending[:lo], g.pending[lo+1:]...)

@@ -6,6 +6,7 @@ import (
 
 	"windowctl/internal/channel"
 	"windowctl/internal/des"
+	"windowctl/internal/fault"
 	"windowctl/internal/metrics"
 	"windowctl/internal/rngutil"
 	"windowctl/internal/station"
@@ -46,6 +47,10 @@ type multiState struct {
 	resolvers []*window.Resolver
 	policies  []window.Policy // per-station replica (common randomness)
 	col       metrics.Collector
+	inj       *fault.Injector // nil unless fault injection is enabled
+	fo        metrics.FaultObserver
+	slotIdx   int64 // probe-slot counter indexing the fault schedule
+	perceived []window.Feedback
 	rep       Report
 	lastTxEnd float64
 	resident  int64 // messages still queued anywhere when the run ended
@@ -68,6 +73,15 @@ func RunMultiStation(cfg MultiConfig) (Report, error) {
 		kernel: des.New(),
 		ch:     channel.New(cfg.Tau, cfg.M*cfg.Tau),
 		col:    metrics.OrNop(cfg.Collector),
+		fo:     metrics.FaultObserverOrNop(cfg.Collector),
+	}
+	if cfg.Faults.Enabled() {
+		inj, err := fault.NewInjector(cfg.Faults)
+		if err != nil {
+			return Report{}, err
+		}
+		m.inj = inj
+		m.perceived = make([]window.Feedback, cfg.Stations)
 	}
 	// Slots are recorded by the channel, arrivals and discards by the
 	// stations; the collector sees the same event stream the global-view
@@ -155,6 +169,11 @@ func (m *multiState) slot() {
 		}
 	}
 
+	if m.inj != nil {
+		m.faultySlot(now)
+		return
+	}
+
 	enabled := m.resolvers[0].Enabled()
 	if m.cfg.VerifyLockstep {
 		for i, r := range m.resolvers {
@@ -202,6 +221,142 @@ func (m *multiState) slot() {
 	m.kernel.ScheduleAfter(dur, 0, m.slot)
 }
 
+// faultySlot executes one protocol slot under imperfect feedback: the
+// channel classifies the true outcome, every station perceives it through
+// the fault layer (independently under Config.Faults.PerStation), message
+// delivery is gated on the *sender's own* perception (a sender that
+// misreads its successful slot aborts the transmission, which then costs
+// τ as a collision slot — see the internal/fault package doc), and the
+// engine watches for desynchronization, answering it with the network-
+// wide recovery protocol: every station aborts its process, nothing is
+// committed, and the next decision epoch re-enables the window from the
+// common pre-process state, with element-(4) deadline discards still
+// enforced on whatever the re-enabled window holds.
+func (m *multiState) faultySlot(now float64) {
+	// Each station transmits by its own resolver's view.  The views agree
+	// whenever this point is reached: desynchronization is detected and
+	// recovered in the very slot it first manifests, before it can drive
+	// divergent transmission decisions.
+	totalMsgs := 0
+	txStation := -1
+	for i, s := range m.stations {
+		c := s.CountIn(m.resolvers[i].Enabled())
+		if c > 0 {
+			totalMsgs += c
+			txStation = i
+		}
+	}
+	truth := channel.Classify(totalMsgs)
+	slot := m.slotIdx
+	m.slotIdx++
+	if m.inj.PerStation() {
+		// Independent per-station sensing: each misread is its own fault.
+		for i := range m.stations {
+			fb, kind, faulted := m.inj.Perceive(slot, i, truth)
+			m.perceived[i] = fb
+			if faulted {
+				m.fo.RecordFault(kind)
+			}
+		}
+	} else {
+		// Common noise: the slot is corrupted once, for everyone.
+		fb, kind, faulted := m.inj.Perceive(slot, 0, truth)
+		if faulted {
+			m.fo.RecordFault(kind)
+		}
+		for i := range m.perceived {
+			m.perceived[i] = fb
+		}
+		if m.cfg.VerifyLockstep {
+			// Shared perception preserves lockstep; keep asserting it.
+			enabled := m.resolvers[0].Enabled()
+			for i, r := range m.resolvers {
+				if r.Enabled() != enabled {
+					m.fail(fmt.Errorf("sim: station %d enabled %v, station 0 enabled %v — lockstep broken",
+						i, r.Enabled(), enabled))
+					return
+				}
+			}
+		}
+	}
+
+	delivered := truth == window.Success && m.perceived[txStation] == window.Success
+	dur := m.ch.AccountSlot(truth, delivered)
+	if delivered {
+		msg, ok := m.stations[txStation].PopOldestIn(m.resolvers[txStation].Enabled())
+		if !ok {
+			m.fail(fmt.Errorf("sim: station %d vanished message in %v", txStation, m.resolvers[txStation].Enabled()))
+			return
+		}
+		m.recordTransmission(msg, now, now+dur)
+	}
+
+	for i, r := range m.resolvers {
+		r.OnFeedback(m.perceived[i])
+	}
+
+	if m.inj.PerStation() && m.desynced() {
+		m.fo.RecordDesync()
+		m.fo.RecordRecovery()
+		for i, r := range m.resolvers {
+			r.Abort()
+			m.resolvers[i] = nil // commit nothing: trackers stay at the common pre-process state
+		}
+	} else if m.resolvers[0].Done() {
+		if m.resolvers[0].Recovered() {
+			m.fo.RecordRecovery()
+		}
+		examined := m.resolvers[0].Examined()
+		end := now + dur
+		for i, tr := range m.trackers {
+			tr.Commit(end, examined)
+			m.resolvers[i] = nil
+		}
+	}
+	m.kernel.ScheduleAfter(dur, 0, m.slot)
+}
+
+// desynced reports whether the stations' resolvers disagree after this
+// slot's feedback: mid-process every resolver must enable the same window
+// and agree on being unfinished; at process end all must agree on the
+// outcome and on the intervals they examined.  The end-state comparison
+// matters because stations perceiving different feedback can finish the
+// same slot in *silently* divergent states (one marks the window
+// examined after a perceived success while another released it after an
+// erasure) — committing either view would fork the trackers for good.
+func (m *multiState) desynced() bool {
+	r0 := m.resolvers[0]
+	for _, r := range m.resolvers[1:] {
+		if r.Done() != r0.Done() {
+			return true
+		}
+	}
+	if !r0.Done() {
+		for _, r := range m.resolvers[1:] {
+			if r.Enabled() != r0.Enabled() {
+				return true
+			}
+		}
+		return false
+	}
+	ex0 := r0.Examined()
+	for _, r := range m.resolvers[1:] {
+		if r.Success() != r0.Success() {
+			return true
+		}
+		ex := r.Examined()
+		if len(ex) != len(ex0) {
+			return true
+		}
+		for j := range ex {
+			if ex[j] != ex0[j] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // beginProcess performs the common decision epoch: sender discard, view
 // construction and resolver creation at every station.  It returns false
 // when there is nothing to examine yet.
@@ -222,10 +377,18 @@ func (m *multiState) beginProcess(now float64) bool {
 	}
 	for i := range m.stations {
 		v := m.trackers[i].View(now, m.cfg.Tau, m.cfg.Lambda)
+		if m.inj != nil {
+			// Phantom-split give-up bound: false collisions otherwise
+			// spiral to the depth bound (see globalState.resolveFaulty).
+			v.MinSplitLen = m.cfg.Tau / 1024
+		}
 		r, err := window.NewResolver(m.policies[i], v)
 		if err != nil {
 			m.fail(fmt.Errorf("sim: station %d resolver: %w", i, err))
 			return false
+		}
+		if m.inj != nil {
+			r.SetFaultTolerant(true)
 		}
 		m.resolvers[i] = r
 	}

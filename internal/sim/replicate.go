@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"windowctl/internal/rngutil"
 	"windowctl/internal/stats"
 )
 
@@ -46,8 +47,16 @@ func RunReplicated(cfg Config, n int) (Replicated, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			c := cfg
-			// Distinct, deterministic seeds per replication.
-			c.Seed = cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(i+1))
+			// Distinct, deterministic seeds per replication.  Mix64's
+			// SplitMix64 avalanche keeps adjacent replications
+			// decorrelated and never collides to a degenerate seed — the
+			// raw XOR it replaces gave correlated streams to neighbouring
+			// replications and mapped particular base seeds to seed 0.
+			c.Seed = rngutil.Mix64(cfg.Seed, uint64(i+1))
+			if c.Faults.Enabled() {
+				// Replications are independent fault-schedule draws too.
+				c.Faults.Seed = rngutil.Mix64(cfg.Faults.Seed, uint64(i+1), degradationFaultTag)
+			}
 			runs[i], errs[i] = RunGlobal(c)
 		}(i)
 	}

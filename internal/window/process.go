@@ -19,17 +19,28 @@ const (
 	Success
 	// Collision: two or more stations transmitted.
 	Collision
+	// Erased: the station could not classify the slot at all (imperfect
+	// sensing; injected by internal/fault).  Perfect-feedback resolvers
+	// never see it; a fault-tolerant resolver treats it conservatively by
+	// aborting the process to a bounded re-enable of its window.
+	Erased
 )
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer.  Out-of-range values render as
+// "Feedback(n)", stdlib-stringer style, so corrupted feedback shows up in
+// logs instead of masquerading as a collision.
 func (f Feedback) String() string {
 	switch f {
 	case Idle:
 		return "idle"
 	case Success:
 		return "success"
-	default:
+	case Collision:
 		return "collision"
+	case Erased:
+		return "erased"
+	default:
+		return fmt.Sprintf("Feedback(%d)", int(f))
 	}
 }
 
@@ -62,8 +73,10 @@ type Resolver struct {
 	hasSibling bool
 	depth      int
 
-	done    bool
-	success bool
+	done          bool
+	success       bool
+	faultTolerant bool
+	recovered     bool
 
 	steps    []Step
 	examined []Window // intervals proven to hold no untransmitted arrivals
@@ -104,6 +117,47 @@ func (r *Resolver) Done() bool { return r.done }
 
 // Success reports whether the process ended with a message transmission.
 func (r *Resolver) Success() bool { return r.success }
+
+// SetFaultTolerant switches the resolver into imperfect-feedback
+// operation: Erased feedback and a blown split-depth bound abort the
+// process to a bounded re-enable of its window (the enabled and sibling
+// windows rejoin the unexamined region and are re-probed by later
+// processes) instead of panicking.  The perfect-feedback state machine is
+// untouched — with fault-free feedback a fault-tolerant resolver behaves
+// identically to a plain one.
+func (r *Resolver) SetFaultTolerant(on bool) { r.faultTolerant = on }
+
+// Recovered reports whether the process ended through the recovery path
+// (erasure, phantom-collision give-up, blown split depth, or an external
+// Abort) rather than by completing normally.
+func (r *Resolver) Recovered() bool { return r.recovered }
+
+// Abort ends the process through the recovery path from outside the state
+// machine — the engines use it to implement the network-wide recovery
+// protocol after a detected inter-station desynchronization.  The enabled
+// and sibling windows are released back to the unexamined region.  Abort
+// after Done is a no-op (a desync recovery aborts every station's
+// resolver, some of which may already have finished).
+func (r *Resolver) Abort() {
+	if r.done {
+		return
+	}
+	r.recover()
+}
+
+// recover releases everything of unknown status and ends the process
+// without a transmission: the released intervals rejoin the unexamined
+// region, so the next decision epoch re-enables them (bounded re-enable)
+// and element-(4) deadline discards keep working on whatever they hold.
+func (r *Resolver) recover() {
+	r.released = append(r.released, r.enabled)
+	if r.hasSibling {
+		r.released = append(r.released, r.sibling)
+		r.hasSibling = false
+	}
+	r.recovered = true
+	r.done = true
+}
 
 // SuccessWindow returns the window containing exactly the transmitted
 // message's arrival; it panics unless Done and Success.
@@ -175,6 +229,15 @@ func (r *Resolver) OnFeedback(fb Feedback) {
 			r.hasSibling = false
 		}
 		r.split(r.enabled)
+	case Erased:
+		// The station could not classify the slot: the enabled window's
+		// status is unknown.  A fault-tolerant resolver treats the erasure
+		// conservatively — nothing is marked examined, the process aborts,
+		// and the released windows are re-enabled by a later process.
+		if !r.faultTolerant {
+			panic("window: erased feedback on a perfect-feedback resolver")
+		}
+		r.recover()
 	default:
 		panic(fmt.Sprintf("window: unknown feedback %d", fb))
 	}
@@ -188,10 +251,21 @@ func (r *Resolver) split(w Window) {
 	if r.view.MinSplitLen > 0 && w.Len() < r.view.MinSplitLen {
 		r.released = append(r.released, w)
 		r.hasSibling = false
+		r.recovered = r.faultTolerant // phantom collision under faults: a recovery
 		r.done = true
 		return
 	}
 	if r.depth >= maxSplitDepth {
+		if r.faultTolerant {
+			// Split depth blowing up means the ">= 2 arrivals" belief is
+			// phantom (false collisions): give the window back and abort
+			// instead of panicking.
+			r.released = append(r.released, w)
+			r.hasSibling = false
+			r.recovered = true
+			r.done = true
+			return
+		}
 		panic(fmt.Sprintf("window: split depth %d exceeded on %v — coincident arrival times?",
 			maxSplitDepth, w))
 	}

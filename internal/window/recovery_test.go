@@ -1,0 +1,163 @@
+package window
+
+import (
+	"strings"
+	"testing"
+)
+
+func newTestResolver(t *testing.T, tolerant bool) *Resolver {
+	t.Helper()
+	v := View{TPast: 0, TNewest: 10, Tau: 1, Lambda: 0.1}
+	r, err := NewResolver(Controlled{Length: FixedG(1.1)}, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetFaultTolerant(tolerant)
+	return r
+}
+
+// TestFeedbackString is the regression test for the Stringer: every named
+// value renders its name and out-of-range values render stdlib-stringer
+// style instead of masquerading as "collision" (the bug this replaces).
+func TestFeedbackString(t *testing.T) {
+	cases := map[Feedback]string{
+		Idle:         "idle",
+		Success:      "success",
+		Collision:    "collision",
+		Erased:       "erased",
+		Feedback(17): "Feedback(17)",
+		Feedback(-3): "Feedback(-3)",
+	}
+	for fb, want := range cases {
+		if got := fb.String(); got != want {
+			t.Errorf("Feedback(%d).String() = %q, want %q", int(fb), got, want)
+		}
+	}
+}
+
+// TestErasedPanicsWithoutFaultTolerance: a perfect-feedback resolver must
+// refuse Erased loudly — silently recovering would hide an engine bug.
+func TestErasedPanicsWithoutFaultTolerance(t *testing.T) {
+	r := newTestResolver(t, false)
+	defer func() {
+		if err := recover(); err == nil || !strings.Contains(err.(string), "erased") {
+			t.Fatalf("want erased-feedback panic, got %v", err)
+		}
+	}()
+	r.OnFeedback(Erased)
+}
+
+// TestErasureRecoveryReleasesWindows: an erasure aborts the process, the
+// enabled (and any sibling) window rejoins the unexamined region, nothing
+// is marked examined, and the resolver reports the recovery.
+func TestErasureRecoveryReleasesWindows(t *testing.T) {
+	r := newTestResolver(t, true)
+	r.OnFeedback(Collision) // split: enabled half + unknown sibling
+	enabled, sibling := r.Enabled(), r.sibling
+	r.OnFeedback(Erased)
+	if !r.Done() || r.Success() || !r.Recovered() {
+		t.Fatalf("after erasure: done=%v success=%v recovered=%v", r.Done(), r.Success(), r.Recovered())
+	}
+	if len(r.Examined()) != 0 {
+		t.Fatalf("erasure marked %v examined", r.Examined())
+	}
+	rel := r.Released()
+	found := map[Window]bool{}
+	for _, w := range rel {
+		found[w] = true
+	}
+	if !found[enabled] || !found[sibling] {
+		t.Fatalf("released %v, want both %v and %v", rel, enabled, sibling)
+	}
+}
+
+// TestSplitDepthRecovery: persistent phantom collisions blow the split
+// depth bound; a fault-tolerant resolver must give up and release instead
+// of panicking, and the perfect-feedback resolver must still panic.
+func TestSplitDepthRecovery(t *testing.T) {
+	r := newTestResolver(t, true)
+	for i := 0; i < maxSplitDepth+2 && !r.Done(); i++ {
+		r.OnFeedback(Collision)
+	}
+	if !r.Done() || !r.Recovered() || r.Success() {
+		t.Fatalf("depth blow-up: done=%v recovered=%v success=%v", r.Done(), r.Recovered(), r.Success())
+	}
+	if len(r.Released()) == 0 {
+		t.Fatal("depth blow-up released nothing")
+	}
+
+	p := newTestResolver(t, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("perfect-feedback resolver survived a blown split depth")
+		}
+	}()
+	for i := 0; i < maxSplitDepth+2 && !p.Done(); i++ {
+		p.OnFeedback(Collision)
+	}
+}
+
+// TestMinSplitLenRecoveredFlag: the phantom give-up is a recovery only in
+// fault-tolerant mode — in perfect-feedback heterogeneous operation it is
+// expected behavior, not a fault recovery.
+func TestMinSplitLenRecoveredFlag(t *testing.T) {
+	for _, tolerant := range []bool{false, true} {
+		v := View{TPast: 0, TNewest: 10, Tau: 1, Lambda: 0.1, MinSplitLen: 8}
+		r, err := NewResolver(Controlled{Length: FixedG(1.1)}, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.SetFaultTolerant(tolerant)
+		for i := 0; i < maxSplitDepth && !r.Done(); i++ {
+			r.OnFeedback(Collision)
+		}
+		if !r.Done() {
+			t.Fatal("MinSplitLen give-up never triggered")
+		}
+		if r.Recovered() != tolerant {
+			t.Errorf("tolerant=%v: Recovered()=%v", tolerant, r.Recovered())
+		}
+	}
+}
+
+// TestAbort: an external abort releases and recovers; after Done it is a
+// no-op (desync recovery aborts every station, finished ones included).
+func TestAbort(t *testing.T) {
+	r := newTestResolver(t, true)
+	r.Abort()
+	if !r.Done() || !r.Recovered() || len(r.Released()) == 0 {
+		t.Fatalf("abort: done=%v recovered=%v released=%v", r.Done(), r.Recovered(), r.Released())
+	}
+
+	s := newTestResolver(t, true)
+	s.OnFeedback(Success)
+	if !s.Done() || !s.Success() {
+		t.Fatal("success did not finish the process")
+	}
+	s.Abort()
+	if s.Recovered() || !s.Success() {
+		t.Fatal("Abort after Done was not a no-op")
+	}
+}
+
+// TestFaultTolerantIdenticalOnCleanFeedback: with fault-free feedback a
+// fault-tolerant resolver must be byte-for-byte the plain state machine.
+func TestFaultTolerantIdenticalOnCleanFeedback(t *testing.T) {
+	feeds := []Feedback{Collision, Idle, Collision, Success}
+	a := newTestResolver(t, false)
+	b := newTestResolver(t, true)
+	for _, fb := range feeds {
+		if a.Done() != b.Done() || a.Enabled() != b.Enabled() {
+			t.Fatalf("state diverged before feedback %v", fb)
+		}
+		if a.Done() {
+			break
+		}
+		a.OnFeedback(fb)
+		b.OnFeedback(fb)
+	}
+	if a.Success() != b.Success() || len(a.Examined()) != len(b.Examined()) || b.Recovered() {
+		t.Fatalf("clean-feedback runs diverged: %v vs %v (recovered=%v)",
+			a.Examined(), b.Examined(), b.Recovered())
+	}
+}

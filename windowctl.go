@@ -33,6 +33,7 @@ package windowctl
 import (
 	"windowctl/internal/core"
 	"windowctl/internal/dist"
+	"windowctl/internal/fault"
 	"windowctl/internal/metrics"
 	"windowctl/internal/queueing"
 	"windowctl/internal/sim"
@@ -136,6 +137,36 @@ func Figure7Panels(specs []PanelSpec, opt Figure7Options) ([]Panel, error) {
 // AllFigure7Panels returns the paper's six panel specifications
 // (ρ′ ∈ {.25, .50, .75} × M ∈ {25, 100}).
 func AllFigure7Panels() []PanelSpec { return sim.AllPanels() }
+
+// FaultConfig configures imperfect-feedback injection for a run (attach
+// via SimOptions.Faults).  The zero value keeps feedback perfect and the
+// run bit-identical to a fault-free build.
+type FaultConfig = fault.Config
+
+// FaultRates holds the independent per-slot probabilities of the three
+// feedback-fault kinds: erasures, false collisions, missed collisions.
+type FaultRates = fault.Rates
+
+// DegradationOptions controls a loss-versus-feedback-error evaluation.
+type DegradationOptions = sim.DegradationOptions
+
+// DegradationPanel is an evaluated degradation curve (loss vs. feedback-
+// error rate for every constraint of one (ρ′, M) panel).
+type DegradationPanel = sim.DegradationPanel
+
+// DegradationRow is one constraint's loss curve across the error grid.
+type DegradationRow = sim.DegradationRow
+
+// DegradationPoint is one (constraint, error-rate) cell of a curve.
+type DegradationPoint = sim.DegradationPoint
+
+// DegradationPanels evaluates loss-versus-feedback-error curves for the
+// given panels over DegradationOptions.Workers concurrent workers.  The
+// rate-0 column is bit-identical to the perfect-feedback Figure7Panels
+// simulation with the same seed.
+func DegradationPanels(specs []PanelSpec, opt DegradationOptions) ([]DegradationPanel, error) {
+	return sim.DegradationPanels(specs, opt)
+}
 
 // Transform perturbs one station's membership test (see the §5
 // extensions: priority via window sizes, asynchronous clocks).
