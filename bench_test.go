@@ -21,6 +21,7 @@ import (
 	"testing"
 
 	"windowctl"
+	"windowctl/internal/benchcase"
 	"windowctl/internal/numerics"
 	"windowctl/internal/queueing"
 	"windowctl/internal/sim"
@@ -31,6 +32,55 @@ import (
 // benchSimEnd keeps per-iteration simulation time moderate; cmd/figures
 // runs the long-horizon version.
 const benchSimEnd = 2e5
+
+// BenchmarkRunGlobal times the global-view engine on the pinned harness
+// workloads (see internal/benchcase): a small-backlog operating point and
+// an overloaded large-backlog one.  ns/msg and msgs/sec are derived from
+// the offered-message count; run with -benchmem to see the allocation
+// profile (steady-state steps are allocation-free — the sim package's
+// TestGlobalStepZeroAlloc asserts it).  cmd/simbench runs the same
+// workloads for the CI regression gate.
+func BenchmarkRunGlobal(b *testing.B) {
+	for _, c := range benchcase.Global() {
+		c := c
+		b.Run(c.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			var msgs int64
+			for i := 0; i < b.N; i++ {
+				rep, err := sim.RunGlobal(c.Cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs = rep.Offered
+			}
+			perIter := b.Elapsed().Seconds() / float64(b.N)
+			b.ReportMetric(perIter*1e9/float64(msgs), "ns/msg")
+			b.ReportMetric(float64(msgs)/perIter, "msgs/sec")
+		})
+	}
+}
+
+// BenchmarkRunMultiStation is the discrete-event-engine counterpart of
+// BenchmarkRunGlobal.
+func BenchmarkRunMultiStation(b *testing.B) {
+	for _, c := range benchcase.Multi() {
+		c := c
+		b.Run(c.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			var msgs int64
+			for i := 0; i < b.N; i++ {
+				rep, err := sim.RunMultiStation(c.Cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs = rep.Offered
+			}
+			perIter := b.Elapsed().Seconds() / float64(b.N)
+			b.ReportMetric(perIter*1e9/float64(msgs), "ns/msg")
+			b.ReportMetric(float64(msgs)/perIter, "msgs/sec")
+		})
+	}
+}
 
 // BenchmarkFigure7 regenerates each panel of figure 7.
 func BenchmarkFigure7(b *testing.B) {

@@ -1,0 +1,272 @@
+// Command simbench is the simulator benchmark-regression harness.
+//
+// Run mode (default) times the pinned engine workloads of
+// internal/benchcase, measures the global engine's steady-state
+// allocations per message, prints a table and optionally writes the
+// results as JSON:
+//
+//	go run ./cmd/simbench -out BENCH_5.json
+//
+// Check mode compares two result files and exits nonzero when any
+// workload's ns/message regressed beyond the threshold (CI runs the
+// harness on the merge-base and on HEAD on the same machine, then gates
+// on this comparison — absolute numbers are hardware-bound, ratios are
+// not):
+//
+//	go run ./cmd/simbench -check -baseline base.json -current head.json -threshold 0.20
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"windowctl/internal/benchcase"
+	"windowctl/internal/sim"
+)
+
+// Result is one timed workload.
+type Result struct {
+	Name string `json:"name"`
+	// Messages is the offered-message count of one run.
+	Messages int64 `json:"messages"`
+	// NsPerMessage is the best-of-reps wall time divided by Messages.
+	NsPerMessage float64 `json:"ns_per_message"`
+	// MessagesPerSec is the corresponding throughput.
+	MessagesPerSec float64 `json:"messages_per_sec"`
+	// AllocsPerMessage is the steady-state allocation rate: the malloc
+	// delta between a double-length and a single-length run divided by
+	// the message delta, so one-time setup (report, histogram, buffer
+	// growth) cancels out.  Measured for the global engine only (-1
+	// where not measured).
+	AllocsPerMessage float64 `json:"allocs_per_message"`
+}
+
+// Output is the file format.
+type Output struct {
+	Schema    string   `json:"schema"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Results   []Result `json:"results"`
+}
+
+const schemaID = "windowctl-simbench/1"
+
+func main() {
+	var (
+		check     = flag.Bool("check", false, "compare -baseline against -current instead of running")
+		baseline  = flag.String("baseline", "", "baseline JSON (check mode)")
+		current   = flag.String("current", "", "current JSON (check mode)")
+		threshold = flag.Float64("threshold", 0.20, "allowed ns/message regression fraction (check mode)")
+		out       = flag.String("out", "", "write results JSON to this file (run mode)")
+		reps      = flag.Int("reps", 5, "timing repetitions per workload; best is kept (run mode)")
+	)
+	flag.Parse()
+	if *check {
+		if err := runCheck(*baseline, *current, *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := runBench(*out, *reps); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// timeGlobal returns the best wall time and the message count of cfg.
+func timeGlobal(cfg sim.Config, reps int) (time.Duration, int64, error) {
+	best := time.Duration(1<<63 - 1)
+	var msgs int64
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		rep, err := sim.RunGlobal(cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+		msgs = rep.Offered
+	}
+	return best, msgs, nil
+}
+
+func timeMulti(cfg sim.MultiConfig, reps int) (time.Duration, int64, error) {
+	best := time.Duration(1<<63 - 1)
+	var msgs int64
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		rep, err := sim.RunMultiStation(cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+		msgs = rep.Offered
+	}
+	return best, msgs, nil
+}
+
+// mallocsOf runs fn once and returns the number of heap allocations it
+// performed.
+func mallocsOf(fn func() error) (uint64, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if err := fn(); err != nil {
+		return 0, err
+	}
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs, nil
+}
+
+// steadyAllocsPerMessage measures the global engine's marginal
+// allocations per message: allocations and messages of a 2×-length run
+// minus those of a 1×-length run.  Setup costs cancel; what remains is
+// the steady-state rate the zero-allocation hot path promises to keep at
+// zero.
+func steadyAllocsPerMessage(cfg sim.Config) (float64, error) {
+	long := cfg
+	long.EndTime = 2 * cfg.EndTime
+	var shortMsgs, longMsgs int64
+	shortAllocs, err := mallocsOf(func() error {
+		rep, err := sim.RunGlobal(cfg)
+		shortMsgs = rep.Offered
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	longAllocs, err := mallocsOf(func() error {
+		rep, err := sim.RunGlobal(long)
+		longMsgs = rep.Offered
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	dm := longMsgs - shortMsgs
+	if dm <= 0 {
+		return 0, fmt.Errorf("simbench: degenerate message delta %d", dm)
+	}
+	da := float64(longAllocs) - float64(shortAllocs)
+	if da < 0 {
+		da = 0 // GC noise can make the long run look cheaper
+	}
+	return da / float64(dm), nil
+}
+
+func runBench(outPath string, reps int) error {
+	o := Output{
+		Schema:    schemaID,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, c := range benchcase.Global() {
+		best, msgs, err := timeGlobal(c.Cfg, reps)
+		if err != nil {
+			return fmt.Errorf("global/%s: %w", c.Name, err)
+		}
+		apm, err := steadyAllocsPerMessage(c.Cfg)
+		if err != nil {
+			return fmt.Errorf("global/%s: %w", c.Name, err)
+		}
+		o.Results = append(o.Results, Result{
+			Name:             "global/" + c.Name,
+			Messages:         msgs,
+			NsPerMessage:     float64(best.Nanoseconds()) / float64(msgs),
+			MessagesPerSec:   float64(msgs) / best.Seconds(),
+			AllocsPerMessage: apm,
+		})
+	}
+	for _, c := range benchcase.Multi() {
+		best, msgs, err := timeMulti(c.Cfg, reps)
+		if err != nil {
+			return fmt.Errorf("multi/%s: %w", c.Name, err)
+		}
+		o.Results = append(o.Results, Result{
+			Name:             "multi/" + c.Name,
+			Messages:         msgs,
+			NsPerMessage:     float64(best.Nanoseconds()) / float64(msgs),
+			MessagesPerSec:   float64(msgs) / best.Seconds(),
+			AllocsPerMessage: -1,
+		})
+	}
+	fmt.Printf("%-24s %12s %14s %12s\n", "workload", "ns/msg", "msgs/sec", "allocs/msg")
+	for _, r := range o.Results {
+		apm := fmt.Sprintf("%.4f", r.AllocsPerMessage)
+		if r.AllocsPerMessage < 0 {
+			apm = "-"
+		}
+		fmt.Printf("%-24s %12.1f %14.0f %12s\n", r.Name, r.NsPerMessage, r.MessagesPerSec, apm)
+	}
+	if outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+}
+
+func readOutput(path string) (Output, error) {
+	var o Output
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return o, err
+	}
+	if err := json.Unmarshal(data, &o); err != nil {
+		return o, fmt.Errorf("%s: %w", path, err)
+	}
+	if o.Schema != schemaID {
+		return o, fmt.Errorf("%s: schema %q, want %q", path, o.Schema, schemaID)
+	}
+	return o, nil
+}
+
+func runCheck(basePath, curPath string, threshold float64) error {
+	if basePath == "" || curPath == "" {
+		return fmt.Errorf("simbench: -check needs -baseline and -current")
+	}
+	base, err := readOutput(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := readOutput(curPath)
+	if err != nil {
+		return err
+	}
+	baseBy := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+	failed := false
+	for _, r := range cur.Results {
+		b, ok := baseBy[r.Name]
+		if !ok {
+			fmt.Printf("%-24s new workload, no baseline\n", r.Name)
+			continue
+		}
+		ratio := r.NsPerMessage / b.NsPerMessage
+		status := "ok"
+		if ratio > 1+threshold {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-24s %10.1f -> %10.1f ns/msg  (%+.1f%%)  %s\n",
+			r.Name, b.NsPerMessage, r.NsPerMessage, (ratio-1)*100, status)
+	}
+	if failed {
+		return fmt.Errorf("simbench: ns/message regressed more than %.0f%%", threshold*100)
+	}
+	return nil
+}

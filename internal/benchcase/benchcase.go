@@ -1,0 +1,104 @@
+// Package benchcase pins the workloads of the simulator benchmark-
+// regression harness.  bench_test.go (go test -bench) and cmd/simbench
+// (the CI regression gate and BENCH_*.json writer) must time the same
+// operating points, so both import their cases from here.
+//
+// The two backlog regimes bracket the pending-queue cost:
+//
+//   - small: a stable load where the backlog is mostly a handful of
+//     messages — the regime every figure-7 panel runs in;
+//   - large: a deliberate overload where element-(4) discards bound the
+//     backlog at several hundred messages — the regime where the old
+//     sorted-slice queue paid an O(n) memmove per extraction and per
+//     discard batch, and the indexed queue's O(log n) operations pay off.
+package benchcase
+
+import (
+	"windowctl/internal/sim"
+	"windowctl/internal/window"
+)
+
+// GlobalCase is one RunGlobal workload.
+type GlobalCase struct {
+	Name string
+	Cfg  sim.Config
+}
+
+// MultiCase is one RunMultiStation workload.
+type MultiCase struct {
+	Name string
+	Cfg  sim.MultiConfig
+}
+
+// globalEnd keeps one iteration around tens of milliseconds.
+const globalEnd = 2e5
+
+// Global returns the global-view engine workloads.
+func Global() []GlobalCase {
+	g := window.FixedG(2.6)
+	return []GlobalCase{
+		{
+			Name: "small-backlog",
+			Cfg: sim.Config{
+				Policy:  window.Controlled{Length: g},
+				Tau:     1,
+				M:       25,
+				Lambda:  0.5 / 25,
+				K:       50,
+				EndTime: globalEnd,
+				Seed:    101,
+			},
+		},
+		{
+			// ρ′ = 2: twice the channel capacity.  Discards keep the run
+			// stable with a standing backlog of several hundred messages.
+			Name: "large-backlog",
+			Cfg: sim.Config{
+				Policy:  window.Controlled{Length: g},
+				Tau:     1,
+				M:       25,
+				Lambda:  2.0 / 25,
+				K:       5000,
+				EndTime: globalEnd,
+				Seed:    103,
+			},
+		},
+	}
+}
+
+// Multi returns the multi-station (discrete-event) engine workloads.
+func Multi() []MultiCase {
+	g := window.FixedG(2.6)
+	return []MultiCase{
+		{
+			Name: "small-backlog",
+			Cfg: sim.MultiConfig{
+				Config: sim.Config{
+					Policy:  window.Controlled{Length: g},
+					Tau:     1,
+					M:       25,
+					Lambda:  0.5 / 25,
+					K:       50,
+					EndTime: 2e4,
+					Seed:    107,
+				},
+				Stations: 16,
+			},
+		},
+		{
+			Name: "large-backlog",
+			Cfg: sim.MultiConfig{
+				Config: sim.Config{
+					Policy:  window.Controlled{Length: g},
+					Tau:     1,
+					M:       25,
+					Lambda:  1.5 / 25,
+					K:       1000,
+					EndTime: 2e4,
+					Seed:    109,
+				},
+				Stations: 16,
+			},
+		},
+	}
+}

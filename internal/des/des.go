@@ -14,7 +14,12 @@ import (
 	"math"
 )
 
-// Event is a scheduled callback.
+// Event is a scheduled callback.  The pointer returned by Schedule stays
+// valid until the event fires: fired events are recycled by the kernel
+// for later Schedule calls (the engines schedule one event per slot, and
+// the freelist makes that allocation-free), so a retained pointer must
+// not be used — in particular not passed to Cancel — once the event has
+// run.  Canceled events are never recycled.
 type Event struct {
 	// Time is the simulation time at which the event fires.
 	Time float64
@@ -71,6 +76,7 @@ type Simulator struct {
 	seq        uint64
 	dispatched uint64
 	running    bool
+	free       []*Event // fired events awaiting reuse
 }
 
 // New returns an empty simulator with the clock at zero.
@@ -105,7 +111,14 @@ func (s *Simulator) Schedule(t float64, priority int, fn func()) *Event {
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		panic(fmt.Sprintf("des: scheduling at non-finite time %v", t))
 	}
-	e := &Event{Time: t, Priority: priority, Fn: fn, seq: s.seq}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free = s.free[:n-1]
+		*e = Event{Time: t, Priority: priority, Fn: fn, seq: s.seq}
+	} else {
+		e = &Event{Time: t, Priority: priority, Fn: fn, seq: s.seq}
+	}
 	s.seq++
 	heap.Push(&s.events, e)
 	return e
@@ -117,7 +130,9 @@ func (s *Simulator) ScheduleAfter(delay float64, priority int, fn func()) *Event
 }
 
 // Cancel marks a queued event so it will not fire.  Canceling an already
-// fired or canceled event is a no-op.
+// canceled event (or nil) is a no-op.  A fired event must not be passed:
+// the kernel has recycled it, so the pointer may identify a different,
+// still-queued event (see the Event doc).
 func (s *Simulator) Cancel(e *Event) {
 	if e == nil || e.canceled || e.index < 0 {
 		if e != nil {
@@ -139,7 +154,12 @@ func (s *Simulator) Step() bool {
 		}
 		s.now = e.Time
 		s.dispatched++
-		e.Fn()
+		// Recycle before dispatch: the callback typically schedules the
+		// next slot, which can then reuse this very event.
+		fn := e.Fn
+		e.Fn = nil
+		s.free = append(s.free, e)
+		fn()
 		return true
 	}
 	return false

@@ -1,0 +1,281 @@
+package pendq
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refQueue is the naive sorted-slice reference model the optimized queue
+// must agree with operation for operation.
+type refQueue struct {
+	keys  []float64
+	items []int
+}
+
+func (r *refQueue) Len() int { return len(r.keys) }
+
+func (r *refQueue) Push(key float64, item int) {
+	r.keys = append(r.keys, key)
+	r.items = append(r.items, item)
+}
+
+func (r *refQueue) CountIn(lo, hi float64) int {
+	if hi <= lo {
+		return 0
+	}
+	a := sort.SearchFloat64s(r.keys, lo)
+	b := sort.SearchFloat64s(r.keys, hi)
+	return b - a
+}
+
+func (r *refQueue) PopFirstIn(lo, hi float64) (float64, int, bool) {
+	i := sort.SearchFloat64s(r.keys, lo)
+	if hi <= lo || i >= len(r.keys) || r.keys[i] >= hi {
+		return 0, 0, false
+	}
+	k, it := r.keys[i], r.items[i]
+	r.keys = append(r.keys[:i], r.keys[i+1:]...)
+	r.items = append(r.items[:i], r.items[i+1:]...)
+	return k, it, true
+}
+
+func (r *refQueue) FirstIn(lo, hi float64) (float64, int, bool) {
+	i := sort.SearchFloat64s(r.keys, lo)
+	if hi <= lo || i >= len(r.keys) || r.keys[i] >= hi {
+		return 0, 0, false
+	}
+	return r.keys[i], r.items[i], true
+}
+
+func (r *refQueue) DiscardBelow(horizon float64, fn func(float64, int)) int {
+	cut := sort.SearchFloat64s(r.keys, horizon)
+	for i := 0; i < cut; i++ {
+		if fn != nil {
+			fn(r.keys[i], r.items[i])
+		}
+	}
+	r.keys = append(r.keys[:0], r.keys[cut:]...)
+	r.items = append(r.items[:0], r.items[cut:]...)
+	return cut
+}
+
+type pair struct {
+	k float64
+	v int
+}
+
+func (r *refQueue) All() []pair {
+	out := []pair{}
+	for i := range r.keys {
+		out = append(out, pair{r.keys[i], r.items[i]})
+	}
+	return out
+}
+
+func allOf(q *Queue[int]) []pair {
+	out := []pair{}
+	q.ForEach(func(k float64, v int) { out = append(out, pair{k, v}) })
+	return out
+}
+
+func equalPairs(a, b []pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// driveAgainstReference interleaves a random operation sequence over both
+// implementations and fails on the first disagreement.
+func driveAgainstReference(t *testing.T, rng *rand.Rand, steps int) {
+	t.Helper()
+	var q Queue[int]
+	var ref refQueue
+	lastKey := 0.0
+	horizon := 0.0
+	nextItem := 0
+
+	window := func() (float64, float64) {
+		// Windows biased to the populated key range, including empty and
+		// out-of-range ones.
+		span := lastKey - horizon + 1
+		lo := horizon + (rng.Float64()*1.4-0.2)*span
+		w := rng.Float64() * span * 0.5
+		return lo, lo + w
+	}
+
+	for s := 0; s < steps; s++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // push, occasionally with duplicate keys
+			gap := rng.ExpFloat64()
+			if rng.Intn(8) == 0 {
+				gap = 0
+			}
+			lastKey += gap
+			q.Push(lastKey, nextItem)
+			ref.Push(lastKey, nextItem)
+			nextItem++
+		case op < 6: // count
+			lo, hi := window()
+			if got, want := q.CountIn(lo, hi), ref.CountIn(lo, hi); got != want {
+				t.Fatalf("step %d: CountIn(%v,%v) = %d, reference %d", s, lo, hi, got, want)
+			}
+		case op < 8: // pop (and peek) oldest in window
+			lo, hi := window()
+			pk, pv, pok := q.FirstIn(lo, hi)
+			rk, rv, rok := ref.FirstIn(lo, hi)
+			if pok != rok || pk != rk || pv != rv {
+				t.Fatalf("step %d: FirstIn(%v,%v) = (%v,%v,%v), reference (%v,%v,%v)", s, lo, hi, pk, pv, pok, rk, rv, rok)
+			}
+			gk, gv, gok := q.PopFirstIn(lo, hi)
+			wk, wv, wok := ref.PopFirstIn(lo, hi)
+			if gok != wok || gk != wk || gv != wv {
+				t.Fatalf("step %d: PopFirstIn(%v,%v) = (%v,%v,%v), reference (%v,%v,%v)", s, lo, hi, gk, gv, gok, wk, wv, wok)
+			}
+		case op < 9: // advance the discard horizon
+			horizon += rng.ExpFloat64() * 2
+			var got, want []pair
+			n := q.DiscardBelow(horizon, func(k float64, v int) { got = append(got, pair{k, v}) })
+			m := ref.DiscardBelow(horizon, func(k float64, v int) { want = append(want, pair{k, v}) })
+			if n != m || !equalPairs(got, want) {
+				t.Fatalf("step %d: DiscardBelow(%v) = %d %v, reference %d %v", s, horizon, n, got, m, want)
+			}
+		default: // full-state audit
+			if q.Len() != ref.Len() {
+				t.Fatalf("step %d: Len = %d, reference %d", s, q.Len(), ref.Len())
+			}
+			if !equalPairs(allOf(&q), ref.All()) {
+				t.Fatalf("step %d: ForEach disagrees\n got  %v\n want %v", s, allOf(&q), ref.All())
+			}
+		}
+	}
+	if !equalPairs(allOf(&q), ref.All()) {
+		t.Fatalf("final state disagrees\n got  %v\n want %v", allOf(&q), ref.All())
+	}
+}
+
+func TestQueueAgainstReferenceModel(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		driveAgainstReference(t, rng, 2000)
+	}
+}
+
+func TestQueueLongRunCompaction(t *testing.T) {
+	// A long churn run: pushes race a steadily advancing horizon, forcing
+	// many in-place compactions while the live set stays small.
+	var q Queue[int]
+	var ref refQueue
+	rng := rand.New(rand.NewSource(7))
+	key, horizon := 0.0, 0.0
+	for i := 0; i < 200000; i++ {
+		key += rng.ExpFloat64()
+		q.Push(key, i)
+		ref.Push(key, i)
+		if i%3 == 0 {
+			horizon = key - 5
+			q.DiscardBelow(horizon, nil)
+			ref.DiscardBelow(horizon, nil)
+		}
+		if i%7 == 0 {
+			lo := key - 4
+			gk, gv, gok := q.PopFirstIn(lo, key)
+			wk, wv, wok := ref.PopFirstIn(lo, key)
+			if gok != wok || gk != wk || gv != wv {
+				t.Fatalf("i=%d: pop (%v,%v,%v) vs (%v,%v,%v)", i, gk, gv, gok, wk, wv, wok)
+			}
+		}
+	}
+	if q.Len() != ref.Len() || !equalPairs(allOf(&q), ref.All()) {
+		t.Fatalf("final state disagrees: len %d vs %d", q.Len(), ref.Len())
+	}
+	if c := cap(q.keys); c > 4096 {
+		t.Fatalf("buffer grew to %d for a ~15-element live set — compaction not reclaiming", c)
+	}
+}
+
+func TestQueueMonotonicityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order push did not panic")
+		}
+	}()
+	var q Queue[int]
+	q.Push(2, 0)
+	q.Push(1, 1)
+}
+
+func TestQueueReset(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 100; i++ {
+		q.Push(float64(i), i)
+	}
+	q.Reset()
+	if q.Len() != 0 || q.CountIn(0, 1000) != 0 {
+		t.Fatalf("reset queue not empty: len=%d", q.Len())
+	}
+	q.Push(0.5, 1)
+	if q.CountIn(0, 1) != 1 {
+		t.Fatal("push after reset lost")
+	}
+}
+
+// TestQueueSteadyStateZeroAlloc verifies the queue's own allocation
+// contract: once the buffer has grown past the peak live backlog, the
+// push/count/pop/discard cycle never allocates.
+func TestQueueSteadyStateZeroAlloc(t *testing.T) {
+	var q Queue[int]
+	key := 0.0
+	// Warm to a stable capacity at ~64 live items.
+	for i := 0; i < 10000; i++ {
+		key++
+		q.Push(key, i)
+		if q.Len() > 64 {
+			q.DiscardBelow(key-64, nil)
+		}
+	}
+	avg := testing.AllocsPerRun(5000, func() {
+		key++
+		q.Push(key, 0)
+		if q.CountIn(key-10, key+1) < 1 {
+			t.Fatal("lost the just-pushed item")
+		}
+		q.PopFirstIn(key-3, key+1)
+		q.DiscardBelow(key-64, nil)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state cycle allocates %v times per run", avg)
+	}
+}
+
+// FuzzQueueAgainstReferenceModel drives the op-sequence comparison from
+// fuzzer-chosen seeds.
+func FuzzQueueAgainstReferenceModel(f *testing.F) {
+	f.Add(int64(1), uint16(500))
+	f.Add(int64(99), uint16(1500))
+	f.Fuzz(func(t *testing.T, seed int64, steps uint16) {
+		rng := rand.New(rand.NewSource(seed))
+		driveAgainstReference(t, rng, int(steps%4096))
+	})
+}
+
+func TestQueueNaNRejected(t *testing.T) {
+	// A NaN key would slip past the monotonicity check (NaN < x and
+	// x < NaN are both false) and poison every later binary search, so
+	// Push rejects it explicitly.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NaN key did not panic")
+		}
+	}()
+	var q Queue[int]
+	q.Push(1, 0)
+	q.Push(math.NaN(), 1)
+}

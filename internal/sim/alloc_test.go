@@ -1,0 +1,76 @@
+package sim
+
+// Steady-state allocation contract of the global-view engine: once the
+// pending queue, resolver scratch and tracker intervals have grown to
+// their working sizes, a decision-epoch step allocates nothing.  This is
+// the invariant the PERFORMANCE.md hot-path description promises and the
+// benchmark-regression harness (cmd/simbench) assumes when it reports
+// allocs/message.
+
+import (
+	"testing"
+
+	"windowctl/internal/window"
+)
+
+// allocConfig is a busy-but-stable operating point: ρ′ = 0.75 keeps the
+// backlog non-empty most of the time (exercising counting, splitting,
+// extraction and element-(4) discards) while still leaving idle stretches
+// for the fast-forward path.  EndTime is effectively unbounded so the
+// measured steps never hit the finish path.
+var allocConfig = Config{
+	Policy:  window.Controlled{Length: window.FixedG(2.6)},
+	Tau:     1,
+	M:       25,
+	Lambda:  0.75 / 25,
+	K:       100,
+	EndTime: 1e15,
+	Seed:    97,
+}
+
+func TestGlobalStepZeroAlloc(t *testing.T) {
+	g, err := newGlobalState(allocConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm every buffer past its working size: pending-queue capacity,
+	// resolver step/interval scratch, tracker interval set, histogram.
+	for i := 0; i < 200000; i++ {
+		if err := g.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(100000, func() {
+		if err := g.step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state step allocates %v times per run; the hot path must be allocation-free", avg)
+	}
+}
+
+// TestGlobalStepZeroAllocNoFastForward pins the probe-by-probe idle path
+// (every idle slot runs a full process) to the same contract.
+func TestGlobalStepZeroAllocNoFastForward(t *testing.T) {
+	cfg := allocConfig
+	cfg.DisableFastForward = true
+	cfg.Lambda = 0.3 / 25 // idle-heavy: most processes find nothing
+	g, err := newGlobalState(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100000; i++ {
+		if err := g.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(50000, func() {
+		if err := g.step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state idle step allocates %v times per run", avg)
+	}
+}

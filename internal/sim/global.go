@@ -3,11 +3,11 @@ package sim
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"windowctl/internal/dist"
 	"windowctl/internal/fault"
 	"windowctl/internal/metrics"
+	"windowctl/internal/pendq"
 	"windowctl/internal/rngutil"
 	"windowctl/internal/stats"
 	"windowctl/internal/window"
@@ -101,29 +101,36 @@ func (c Config) validate() error {
 // configuration.
 func (c Config) RhoPrime() float64 { return c.Lambda * c.M * c.Tau }
 
-// pendingMsg is one untransmitted message in the global view.
-type pendingMsg struct {
-	arrival  float64
-	measured bool
-}
-
 // globalState is the single-view protocol simulation: because every
 // station's state machine is a deterministic function of the common
 // feedback, the network evolves exactly like one queue of arrival times
 // plus one Resolver — this simulator exploits that for speed, and the
 // multi-station simulator verifies the equivalence.
+//
+// The hot path is allocation-free at steady state: the pending set is an
+// indexed queue that reclaims storage in place, the single Resolver is
+// recycled across processes, and all scratch space lives in the state.
+// sim_alloc_test.go asserts this with testing.AllocsPerRun.
 type globalState struct {
-	cfg     Config
-	rng     *rngutil.Stream
-	tracker *window.Tracker
-	col     metrics.Collector // never nil (Nop when uninstrumented)
-	inj     *fault.Injector   // nil unless fault injection is enabled
-	fo      metrics.FaultObserver
-	slotIdx int64 // probe-slot counter indexing the fault schedule
-	now     float64
-	pending []pendingMsg // ascending arrival time
-	nextArr float64
-	rep     Report
+	cfg        Config
+	rng        *rngutil.Stream
+	tracker    *window.Tracker
+	col        metrics.Collector // never nil (Nop when uninstrumented)
+	inj        *fault.Injector   // nil unless fault injection is enabled
+	fo         metrics.FaultObserver
+	slotIdx    int64 // probe-slot counter indexing the fault schedule
+	now        float64
+	pending    pendq.Queue[bool] // key: arrival time; item: measured flag
+	nextArr    float64
+	maxBacklog int
+	rep        Report
+
+	// res is the recycled windowing-process state machine; discardFn and
+	// ffScratch keep the element-(4) and fast-forward paths closure- and
+	// slice-literal-free.
+	res       window.Resolver
+	discardFn func(arrival float64, measured bool)
+	ffScratch [1]window.Window
 
 	// lastTxEnd is the end time of the most recent transmission; the
 	// scheduling time of the next transmitted message runs from
@@ -135,8 +142,19 @@ type globalState struct {
 // RunGlobal simulates the protocol with the global-view engine and
 // returns the measured report.
 func RunGlobal(cfg Config) (Report, error) {
-	if err := cfg.validate(); err != nil {
+	g, err := newGlobalState(cfg)
+	if err != nil {
 		return Report{}, err
+	}
+	return g.run()
+}
+
+// newGlobalState validates the configuration and builds a ready-to-step
+// engine.  It exists separately from RunGlobal so the allocation tests
+// can warm a state and then measure a bare step cycle.
+func newGlobalState(cfg Config) (*globalState, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	g := &globalState{
 		cfg:     cfg,
@@ -148,30 +166,45 @@ func RunGlobal(cfg Config) (Report, error) {
 	if cfg.Faults.Enabled() {
 		inj, err := fault.NewInjector(cfg.Faults)
 		if err != nil {
-			return Report{}, err
+			return nil, err
 		}
 		g.inj = inj
 	}
 	g.rep.WaitHist = stats.NewHistogram(cfg.Tau, int(cfg.K/cfg.Tau)+64)
 	g.nextArr = g.rng.Exp(cfg.Lambda)
-	maxBacklog := cfg.MaxBacklog
-	if maxBacklog <= 0 {
-		maxBacklog = 1 << 20
+	g.maxBacklog = cfg.MaxBacklog
+	if g.maxBacklog <= 0 {
+		g.maxBacklog = 1 << 20
 	}
-	checkpoint, check := conservationStart(cfg.Collector)
-
-	for g.now < cfg.EndTime {
-		g.fill(g.now)
-		if len(g.pending) > maxBacklog {
-			return g.rep, fmt.Errorf("sim: backlog exceeded %d at t=%v (unstable configuration)", maxBacklog, g.now)
+	g.discardFn = func(arrival float64, measured bool) {
+		if measured {
+			g.rep.LostSender++
 		}
-		if err := g.oneProcess(); err != nil {
+	}
+	return g, nil
+}
+
+// step advances the simulation by one decision epoch: materialize
+// arrivals, check the backlog bound, run one windowing process.
+func (g *globalState) step() error {
+	g.fill(g.now)
+	if g.pending.Len() > g.maxBacklog {
+		return fmt.Errorf("sim: backlog exceeded %d at t=%v (unstable configuration)", g.maxBacklog, g.now)
+	}
+	return g.oneProcess()
+}
+
+// run steps the engine to EndTime and finalizes the report.
+func (g *globalState) run() (Report, error) {
+	checkpoint, check := conservationStart(g.cfg.Collector)
+	for g.now < g.cfg.EndTime {
+		if err := g.step(); err != nil {
 			return g.rep, err
 		}
 	}
 	g.finish()
 	if check != nil {
-		if err := check.CheckConservation(checkpoint, int64(len(g.pending)), g.now); err != nil {
+		if err := check.CheckConservation(checkpoint, int64(g.pending.Len()), g.now); err != nil {
 			return g.rep, fmt.Errorf("sim: %w", err)
 		}
 	}
@@ -182,10 +215,7 @@ func RunGlobal(cfg Config) (Report, error) {
 func (g *globalState) fill(t float64) {
 	added := int64(0)
 	for g.nextArr <= t {
-		g.pending = append(g.pending, pendingMsg{
-			arrival:  g.nextArr,
-			measured: g.nextArr >= g.cfg.Warmup && g.nextArr < g.cfg.EndTime,
-		})
+		g.pending.Push(g.nextArr, g.nextArr >= g.cfg.Warmup && g.nextArr < g.cfg.EndTime)
 		if g.nextArr >= g.cfg.Warmup {
 			g.rep.Offered++
 		}
@@ -195,16 +225,23 @@ func (g *globalState) fill(t float64) {
 	if added > 0 {
 		g.col.RecordArrivals(added)
 	}
-	if len(g.pending) > g.rep.MaxBacklog {
-		g.rep.MaxBacklog = len(g.pending)
+	if n := g.pending.Len(); n > g.rep.MaxBacklog {
+		g.rep.MaxBacklog = n
 	}
 }
 
-// countIn is the content oracle over the pending set.
-func (g *globalState) countIn(w window.Window) int {
-	lo := sort.Search(len(g.pending), func(i int) bool { return g.pending[i].arrival >= w.Start })
-	hi := sort.Search(len(g.pending), func(i int) bool { return g.pending[i].arrival >= w.End })
-	return hi - lo
+// feedFromOracle probes the resolver's enabled window against the pending
+// set (the content oracle) and feeds the resulting perfect feedback.
+func (g *globalState) feedFromOracle() {
+	w := g.res.Enabled()
+	switch n := g.pending.CountIn(w.Start, w.End); {
+	case n == 0:
+		g.res.OnFeedback(window.Idle)
+	case n == 1:
+		g.res.OnFeedback(window.Success)
+	default:
+		g.res.OnFeedback(window.Collision)
+	}
 }
 
 // oneProcess runs a single windowing process: sender discard at the
@@ -214,15 +251,8 @@ func (g *globalState) oneProcess() error {
 	// Element (4): discard messages already older than K.
 	if g.cfg.Policy.Discards() {
 		horizon := g.tracker.Horizon(g.now)
-		cut := sort.Search(len(g.pending), func(i int) bool { return g.pending[i].arrival >= horizon })
-		for _, m := range g.pending[:cut] {
-			if m.measured {
-				g.rep.LostSender++
-			}
-		}
-		if cut > 0 {
-			g.col.RecordDiscards(int64(cut))
-			g.pending = append(g.pending[:0], g.pending[cut:]...)
+		if n := g.pending.DiscardBelow(horizon, g.discardFn); n > 0 {
+			g.col.RecordDiscards(int64(n))
 		}
 	}
 
@@ -251,17 +281,20 @@ func (g *globalState) oneProcess() error {
 		// be observed one by one, so the fast path is skipped.)
 		return nil
 	}
-	rep, err := window.RunProcessObserved(g.cfg.Policy, view, g.countIn, g.col)
-	if err != nil {
+	if err := g.res.Reset(g.cfg.Policy, view); err != nil {
 		return err
+	}
+	g.res.Observe(g.col)
+	for !g.res.Done() {
+		g.feedFromOracle()
 	}
 	if g.cfg.RateEstimator != nil {
 		examined := 0.0
-		for _, w := range rep.Examined {
+		for _, w := range g.res.Examined() {
 			examined += w.Len()
 		}
 		found := 0
-		if rep.Success {
+		if g.res.Success() {
 			found = 1
 		}
 		g.cfg.RateEstimator.Observe(found, examined)
@@ -270,10 +303,10 @@ func (g *globalState) oneProcess() error {
 	// Advance the clock step by step; record the success start time.
 	successStart := math.NaN()
 	txTime := g.cfg.M * g.cfg.Tau
-	if g.cfg.TxLengths != nil && rep.Success {
+	if g.cfg.TxLengths != nil && g.res.Success() {
 		txTime = g.cfg.TxLengths.Sample(g.rng)
 	}
-	for _, s := range rep.Steps {
+	for _, s := range g.res.Steps() {
 		if s.Outcome == window.Success {
 			successStart = g.now
 			g.col.RecordSlots(metrics.SlotSuccess, 1, txTime)
@@ -289,39 +322,12 @@ func (g *globalState) oneProcess() error {
 			}
 		}
 	}
-	g.tracker.Commit(g.now, rep.Examined)
+	g.tracker.Commit(g.now, g.res.Examined())
 
-	if !rep.Success {
+	if !g.res.Success() {
 		return nil
 	}
-
-	// Locate and remove the transmitted message.
-	lo := sort.Search(len(g.pending), func(i int) bool { return g.pending[i].arrival >= rep.SuccessWindow.Start })
-	if lo >= len(g.pending) || !rep.SuccessWindow.Contains(g.pending[lo].arrival) {
-		return fmt.Errorf("sim: success window %v holds no pending message", rep.SuccessWindow)
-	}
-	if lo+1 < len(g.pending) && rep.SuccessWindow.Contains(g.pending[lo+1].arrival) {
-		return fmt.Errorf("sim: success window %v holds more than one message", rep.SuccessWindow)
-	}
-	msg := g.pending[lo]
-	g.pending = append(g.pending[:lo], g.pending[lo+1:]...)
-	g.rep.Transmissions++
-
-	trueWait := successStart - msg.arrival
-	g.col.RecordTransmission(trueWait, trueWait <= g.cfg.K)
-	if msg.measured {
-		g.rep.TrueWait.Add(trueWait)
-		g.rep.WaitHist.Add(trueWait)
-		schedStart := math.Max(g.lastTxEnd, msg.arrival)
-		g.rep.SchedulingSlots.Add((successStart - schedStart) / g.cfg.Tau)
-		if trueWait > g.cfg.K {
-			g.rep.LostLate++
-		} else {
-			g.rep.AcceptedInTime++
-		}
-	}
-	g.lastTxEnd = g.now
-	return nil
+	return g.deliver(g.res.SuccessWindow(), successStart)
 }
 
 // resolveFaulty runs one windowing process under imperfect feedback: each
@@ -341,15 +347,15 @@ func (g *globalState) resolveFaulty(view window.View) error {
 	// the heterogeneous engine uses) cuts the spiral at sub-slot window
 	// lengths instead.
 	view.MinSplitLen = g.cfg.Tau / 1024
-	r, err := window.NewResolver(g.cfg.Policy, view)
-	if err != nil {
+	r := &g.res
+	if err := r.Reset(g.cfg.Policy, view); err != nil {
 		return err
 	}
 	r.SetFaultTolerant(true)
 	r.Observe(g.cfg.Collector)
 	for !r.Done() {
 		enabled := r.Enabled()
-		n := g.countIn(enabled)
+		n := g.pending.CountIn(enabled.Start, enabled.End)
 		var truth window.Feedback
 		switch {
 		case n == 0:
@@ -395,27 +401,24 @@ func (g *globalState) resolveFaulty(view window.View) error {
 }
 
 // deliver removes the single pending message inside the window of a
-// delivered (true and perceived) success and records its outcome.  The
-// truth said exactly one message lies inside, so anything else is an
-// engine bug.
+// delivered success and records its outcome.  The feedback said exactly
+// one message lies inside, so anything else is an engine bug.
 func (g *globalState) deliver(w window.Window, successStart float64) error {
-	lo := sort.Search(len(g.pending), func(i int) bool { return g.pending[i].arrival >= w.Start })
-	if lo >= len(g.pending) || !w.Contains(g.pending[lo].arrival) {
+	switch n := g.pending.CountIn(w.Start, w.End); {
+	case n == 0:
 		return fmt.Errorf("sim: success window %v holds no pending message", w)
-	}
-	if lo+1 < len(g.pending) && w.Contains(g.pending[lo+1].arrival) {
+	case n > 1:
 		return fmt.Errorf("sim: success window %v holds more than one message", w)
 	}
-	msg := g.pending[lo]
-	g.pending = append(g.pending[:lo], g.pending[lo+1:]...)
+	arrival, measured, _ := g.pending.PopFirstIn(w.Start, w.End)
 	g.rep.Transmissions++
 
-	trueWait := successStart - msg.arrival
+	trueWait := successStart - arrival
 	g.col.RecordTransmission(trueWait, trueWait <= g.cfg.K)
-	if msg.measured {
+	if measured {
 		g.rep.TrueWait.Add(trueWait)
 		g.rep.WaitHist.Add(trueWait)
-		schedStart := math.Max(g.lastTxEnd, msg.arrival)
+		schedStart := math.Max(g.lastTxEnd, arrival)
 		g.rep.SchedulingSlots.Add((successStart - schedStart) / g.cfg.Tau)
 		if trueWait > g.cfg.K {
 			g.rep.LostLate++
@@ -439,7 +442,7 @@ func (g *globalState) deliver(w window.Window, successStart float64) error {
 // drawn one decision at a time to keep the common random sequence
 // aligned.
 func (g *globalState) fastForwardIdle(view window.View) bool {
-	if g.cfg.DisableFastForward || len(g.pending) != 0 {
+	if g.cfg.DisableFastForward || g.pending.Len() != 0 {
 		return false
 	}
 	if _, random := g.cfg.Policy.(window.ForkablePolicy); random {
@@ -462,25 +465,26 @@ func (g *globalState) fastForwardIdle(view window.View) bool {
 	g.rep.IdleSlots += int64(skip)
 	g.col.RecordSlots(metrics.SlotIdle, int64(skip), float64(skip)*g.cfg.Tau)
 	g.now += float64(skip) * g.cfg.Tau
-	g.tracker.Commit(g.now, []window.Window{{Start: view.TPast, End: g.now - g.cfg.Tau}})
+	g.ffScratch[0] = window.Window{Start: view.TPast, End: g.now - g.cfg.Tau}
+	g.tracker.Commit(g.now, g.ffScratch[:])
 	return true
 }
 
 // finish classifies the messages still pending at the end of the run and
 // computes utilization.
 func (g *globalState) finish() {
-	for _, m := range g.pending {
-		if !m.measured {
-			continue
+	g.pending.ForEach(func(arrival float64, measured bool) {
+		if !measured {
+			return
 		}
-		if g.cfg.EndTime-m.arrival > g.cfg.K {
+		if g.cfg.EndTime-arrival > g.cfg.K {
 			g.rep.LostPending++
 		} else {
 			g.rep.Censored++
 		}
-	}
+	})
 	g.col.RecordEndPending(g.rep.LostPending, g.rep.Censored)
-	g.rep.EndBacklog = len(g.pending)
+	g.rep.EndBacklog = g.pending.Len()
 	busy := float64(g.rep.Transmissions) * g.cfg.M * g.cfg.Tau
 	wasted := float64(g.rep.IdleSlots+g.rep.CollisionSlots) * g.cfg.Tau
 	if busy+wasted > 0 {

@@ -140,8 +140,20 @@ func RunHeterogeneous(cfg HeterogeneousConfig) (HeterogeneousReport, error) {
 		h.transforms = append(h.transforms, tr)
 	}
 	h.tracker = window.NewTracker(0, cfg.K, cfg.Policy.Discards())
+	h.maxBacklog = cfg.MaxBacklog
+	if h.maxBacklog <= 0 {
+		h.maxBacklog = 1 << 20
+	}
+	h.discardFn = func(d station.Message) {
+		if h.measured(d.Arrival) {
+			h.rep.LostSender++
+			h.rep.Stations[d.Origin].LostSender++
+		}
+	}
 
-	h.kernel.Schedule(0, 0, h.slot)
+	h.slotFn = h.slot
+
+	h.kernel.Schedule(0, 0, h.slotFn)
 	h.kernel.RunUntil(cfg.EndTime)
 	if h.runErr != nil {
 		return h.rep, h.runErr
@@ -157,10 +169,14 @@ type heteroState struct {
 	stations   []*station.Station
 	transforms []Transform
 	tracker    *window.Tracker
-	resolver   *window.Resolver
+	resolver   window.Resolver // recycled via Reset each decision epoch
+	inProcess  bool
+	maxBacklog int
 	rep        HeterogeneousReport
 	lastTxEnd  float64
 	runErr     error
+	discardFn  func(station.Message)
+	slotFn     func() // h.slot bound once; a fresh method value per Schedule would allocate every slot
 }
 
 func (h *heteroState) measured(arrival float64) bool {
@@ -172,20 +188,26 @@ func (h *heteroState) slot() {
 	if now >= h.cfg.EndTime {
 		return
 	}
+	backlog := 0
 	for _, s := range h.stations {
 		s.GenerateUntil(now)
+		backlog += s.QueueLen()
+	}
+	// A perturbed membership test can strand messages forever (see the
+	// RunHeterogeneous doc), so without element-(4) discards the backlog
+	// of a hopelessly misconfigured run grows without bound; the cap
+	// aborts such runs just as the other engines do.
+	if backlog > h.maxBacklog {
+		h.runErr = fmt.Errorf("sim: backlog exceeded %d at t=%v", h.maxBacklog, now)
+		h.kernel.Stop()
+		return
 	}
 
-	if h.resolver == nil {
+	if !h.inProcess {
 		if h.cfg.Policy.Discards() {
 			horizon := h.tracker.Horizon(now)
-			for i, s := range h.stations {
-				for _, d := range s.DiscardArrivedBefore(horizon) {
-					if h.measured(d.Arrival) {
-						h.rep.LostSender++
-						h.rep.Stations[i].LostSender++
-					}
-				}
+			for _, s := range h.stations {
+				s.DiscardArrivedBeforeFunc(horizon, h.discardFn)
 			}
 		}
 		view := h.tracker.View(now, h.cfg.Tau, h.cfg.Lambda)
@@ -194,16 +216,15 @@ func (h *heteroState) slot() {
 		// window.View.MinSplitLen).
 		view.MinSplitLen = h.cfg.Tau / 1024
 		if view.TNewest-view.TPast <= 0 {
-			h.kernel.ScheduleAfter(h.cfg.Tau, 0, h.slot)
+			h.kernel.ScheduleAfter(h.cfg.Tau, 0, h.slotFn)
 			return
 		}
-		r, err := window.NewResolver(h.cfg.Policy, view)
-		if err != nil {
+		if err := h.resolver.Reset(h.cfg.Policy, view); err != nil {
 			h.runErr = err
 			h.kernel.Stop()
 			return
 		}
-		h.resolver = r
+		h.inProcess = true
 	}
 
 	enabled := h.resolver.Enabled()
@@ -251,9 +272,9 @@ func (h *heteroState) slot() {
 
 	if h.resolver.Done() {
 		h.tracker.Commit(now+dur, h.resolver.Examined())
-		h.resolver = nil
+		h.inProcess = false
 	}
-	h.kernel.ScheduleAfter(dur, 0, h.slot)
+	h.kernel.ScheduleAfter(dur, 0, h.slotFn)
 }
 
 func (h *heteroState) finish() {

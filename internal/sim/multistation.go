@@ -44,8 +44,9 @@ type multiState struct {
 	ch        *channel.Channel
 	stations  []*station.Station
 	trackers  []*window.Tracker
-	resolvers []*window.Resolver
-	policies  []window.Policy // per-station replica (common randomness)
+	resolvers []*window.Resolver // persistent, recycled via Reset each epoch
+	inProcess bool               // a windowing process is underway
+	policies  []window.Policy    // per-station replica (common randomness)
 	col       metrics.Collector
 	inj       *fault.Injector // nil unless fault injection is enabled
 	fo        metrics.FaultObserver
@@ -55,6 +56,8 @@ type multiState struct {
 	lastTxEnd float64
 	resident  int64 // messages still queued anywhere when the run ended
 	runErr    error
+	discardFn func(station.Message)
+	slotFn    func() // m.slot bound once; a fresh method value per Schedule would allocate every slot
 }
 
 // RunMultiStation simulates the distributed protocol and returns the
@@ -113,9 +116,24 @@ func RunMultiStation(cfg MultiConfig) (Report, error) {
 		}
 	}
 	m.resolvers = make([]*window.Resolver, cfg.Stations)
+	for i := range m.resolvers {
+		m.resolvers[i] = &window.Resolver{}
+		if cfg.Faults.Enabled() {
+			m.resolvers[i].SetFaultTolerant(true)
+		}
+	}
+	// Only one of the (identical, lockstep) resolvers observes, or every
+	// split would be counted once per station.
+	m.resolvers[0].Observe(cfg.Collector)
+	m.discardFn = func(d station.Message) {
+		if m.measured(d.Arrival) {
+			m.rep.LostSender++
+		}
+	}
+	m.slotFn = m.slot
 
 	checkpoint, check := conservationStart(cfg.Collector)
-	m.kernel.Schedule(0, 0, m.slot)
+	m.kernel.Schedule(0, 0, m.slotFn)
 	m.kernel.RunUntil(cfg.EndTime)
 	if m.runErr != nil {
 		return m.rep, m.runErr
@@ -160,11 +178,11 @@ func (m *multiState) slot() {
 		return
 	}
 
-	if m.resolvers[0] == nil {
+	if !m.inProcess {
 		// Decision epoch at every station.
 		if !m.beginProcess(now) {
 			// Nothing unexamined yet: idle for one slot.
-			m.kernel.ScheduleAfter(m.cfg.Tau, 0, m.slot)
+			m.kernel.ScheduleAfter(m.cfg.Tau, 0, m.slotFn)
 			return
 		}
 	}
@@ -213,12 +231,12 @@ func (m *multiState) slot() {
 	if m.resolvers[0].Done() {
 		examined := m.resolvers[0].Examined()
 		end := now + dur
-		for i, tr := range m.trackers {
+		for _, tr := range m.trackers {
 			tr.Commit(end, examined)
-			m.resolvers[i] = nil
 		}
+		m.inProcess = false
 	}
-	m.kernel.ScheduleAfter(dur, 0, m.slot)
+	m.kernel.ScheduleAfter(dur, 0, m.slotFn)
 }
 
 // faultySlot executes one protocol slot under imperfect feedback: the
@@ -298,22 +316,22 @@ func (m *multiState) faultySlot(now float64) {
 	if m.inj.PerStation() && m.desynced() {
 		m.fo.RecordDesync()
 		m.fo.RecordRecovery()
-		for i, r := range m.resolvers {
+		for _, r := range m.resolvers {
 			r.Abort()
-			m.resolvers[i] = nil // commit nothing: trackers stay at the common pre-process state
 		}
+		m.inProcess = false // commit nothing: trackers stay at the common pre-process state
 	} else if m.resolvers[0].Done() {
 		if m.resolvers[0].Recovered() {
 			m.fo.RecordRecovery()
 		}
 		examined := m.resolvers[0].Examined()
 		end := now + dur
-		for i, tr := range m.trackers {
+		for _, tr := range m.trackers {
 			tr.Commit(end, examined)
-			m.resolvers[i] = nil
 		}
+		m.inProcess = false
 	}
-	m.kernel.ScheduleAfter(dur, 0, m.slot)
+	m.kernel.ScheduleAfter(dur, 0, m.slotFn)
 }
 
 // desynced reports whether the stations' resolvers disagree after this
@@ -358,17 +376,13 @@ func (m *multiState) desynced() bool {
 }
 
 // beginProcess performs the common decision epoch: sender discard, view
-// construction and resolver creation at every station.  It returns false
+// construction and resolver recycling at every station.  It returns false
 // when there is nothing to examine yet.
 func (m *multiState) beginProcess(now float64) bool {
 	for i, s := range m.stations {
 		if m.cfg.Policy.Discards() {
 			horizon := m.trackers[i].Horizon(now)
-			for _, d := range s.DiscardArrivedBefore(horizon) {
-				if m.measured(d.Arrival) {
-					m.rep.LostSender++
-				}
-			}
+			s.DiscardArrivedBeforeFunc(horizon, m.discardFn)
 		}
 	}
 	view := m.trackers[0].View(now, m.cfg.Tau, m.cfg.Lambda)
@@ -382,19 +396,12 @@ func (m *multiState) beginProcess(now float64) bool {
 			// spiral to the depth bound (see globalState.resolveFaulty).
 			v.MinSplitLen = m.cfg.Tau / 1024
 		}
-		r, err := window.NewResolver(m.policies[i], v)
-		if err != nil {
+		if err := m.resolvers[i].Reset(m.policies[i], v); err != nil {
 			m.fail(fmt.Errorf("sim: station %d resolver: %w", i, err))
 			return false
 		}
-		if m.inj != nil {
-			r.SetFaultTolerant(true)
-		}
-		m.resolvers[i] = r
 	}
-	// Only one of the (identical, lockstep) resolvers observes, or every
-	// split would be counted once per station.
-	m.resolvers[0].Observe(m.cfg.Collector)
+	m.inProcess = true
 	return true
 }
 

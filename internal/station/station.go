@@ -12,9 +12,10 @@ package station
 
 import (
 	"fmt"
-	"sort"
+	"math"
 
 	"windowctl/internal/metrics"
+	"windowctl/internal/pendq"
 	"windowctl/internal/rngutil"
 	"windowctl/internal/window"
 )
@@ -104,7 +105,7 @@ type Station struct {
 	rng       *rngutil.Stream
 	nextID    *int64 // shared message-ID counter
 	nextAt    float64
-	queue     []Message // pending messages, ascending arrival time
+	queue     pendq.Queue[Message] // pending messages, keyed by arrival time
 	created   int64
 	collector metrics.Collector // nil unless Observe was called
 }
@@ -136,7 +137,7 @@ func (s *Station) GenerateUntil(t float64) int {
 	for s.nextAt <= t {
 		id := *s.nextID
 		*s.nextID++
-		s.queue = append(s.queue, Message{ID: id, Origin: s.id, Arrival: s.nextAt})
+		s.queue.Push(s.nextAt, Message{ID: id, Origin: s.id, Arrival: s.nextAt})
 		s.created++
 		added++
 		gap := s.proc.NextGap(s.rng)
@@ -155,48 +156,51 @@ func (s *Station) GenerateUntil(t float64) int {
 func (s *Station) NextArrivalAt() float64 { return s.nextAt }
 
 // QueueLen returns the number of pending messages.
-func (s *Station) QueueLen() int { return len(s.queue) }
+func (s *Station) QueueLen() int { return s.queue.Len() }
 
 // Created returns the total number of messages generated so far.
 func (s *Station) Created() int64 { return s.created }
 
 // CountIn returns how many pending messages have arrival times inside w.
 func (s *Station) CountIn(w window.Window) int {
-	lo := sort.Search(len(s.queue), func(i int) bool { return s.queue[i].Arrival >= w.Start })
-	hi := sort.Search(len(s.queue), func(i int) bool { return s.queue[i].Arrival >= w.End })
-	return hi - lo
+	return s.queue.CountIn(w.Start, w.End)
 }
 
 // PopOldestIn removes and returns the oldest pending message inside w.
 func (s *Station) PopOldestIn(w window.Window) (Message, bool) {
-	lo := sort.Search(len(s.queue), func(i int) bool { return s.queue[i].Arrival >= w.Start })
-	if lo >= len(s.queue) || !w.Contains(s.queue[lo].Arrival) {
-		return Message{}, false
+	_, m, ok := s.queue.PopFirstIn(w.Start, w.End)
+	return m, ok
+}
+
+// DiscardArrivedBeforeFunc removes every pending message with arrival
+// time strictly below the horizon (policy element (4)), calling fn (if
+// non-nil) on each in arrival order, and returns how many were dropped.
+// It is the allocation-free form the simulation engines use per decision
+// epoch.
+func (s *Station) DiscardArrivedBeforeFunc(horizon float64, fn func(Message)) int {
+	var n int
+	if fn == nil {
+		n = s.queue.DiscardBelow(horizon, nil)
+	} else {
+		n = s.queue.DiscardBelow(horizon, func(_ float64, m Message) { fn(m) })
 	}
-	m := s.queue[lo]
-	s.queue = append(s.queue[:lo], s.queue[lo+1:]...)
-	return m, true
+	if n > 0 && s.collector != nil {
+		s.collector.RecordDiscards(int64(n))
+	}
+	return n
 }
 
 // DiscardArrivedBefore removes and returns every pending message with
-// arrival time strictly below the horizon (policy element (4)).
+// arrival time strictly below the horizon.  It allocates the returned
+// slice; hot paths should use DiscardArrivedBeforeFunc.
 func (s *Station) DiscardArrivedBefore(horizon float64) []Message {
-	cut := sort.Search(len(s.queue), func(i int) bool { return s.queue[i].Arrival >= horizon })
-	if cut == 0 {
-		return nil
-	}
-	dropped := append([]Message(nil), s.queue[:cut]...)
-	s.queue = append(s.queue[:0], s.queue[cut:]...)
-	if s.collector != nil {
-		s.collector.RecordDiscards(int64(cut))
-	}
+	var dropped []Message
+	s.DiscardArrivedBeforeFunc(horizon, func(m Message) { dropped = append(dropped, m) })
 	return dropped
 }
 
 // Oldest returns the oldest pending message without removing it.
 func (s *Station) Oldest() (Message, bool) {
-	if len(s.queue) == 0 {
-		return Message{}, false
-	}
-	return s.queue[0], true
+	_, m, ok := s.queue.FirstIn(math.Inf(-1), math.Inf(1))
+	return m, ok
 }

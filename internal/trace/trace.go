@@ -153,7 +153,7 @@ func Run(cfg Config) (*Trace, error) {
 		tracker.Commit(now, rep.Examined)
 	}
 	tr.End = now
-	tr.Cleared = tracker.ClearedIntervals()
+	tr.Cleared = tracker.AppendCleared(tr.Cleared[:0])
 	return tr, nil
 }
 

@@ -87,6 +87,32 @@ type Resolver struct {
 // selected (clamped to [view.TPast, view.TNewest]) and enabled.  It returns
 // an error if the clamped window is empty.
 func NewResolver(p Policy, v View) (*Resolver, error) {
+	r := &Resolver{}
+	if err := r.Reset(p, v); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Reset recycles the resolver for a fresh windowing process, reusing the
+// steps/examined/released backing arrays so that a long-lived resolver
+// stops allocating once they reach the working size of its processes.
+// The attached collector and the fault-tolerance mode survive the reset
+// (the engines set both once, up front).  It returns the same error as
+// NewResolver when the clamped initial window is empty; on error the
+// resolver is left done-without-success so a stale Enabled window cannot
+// be probed by accident.
+func (r *Resolver) Reset(p Policy, v View) error {
+	r.policy = p
+	r.view = v
+	r.hasSibling = false
+	r.depth = 0
+	r.success = false
+	r.recovered = false
+	r.steps = r.steps[:0]
+	r.examined = r.examined[:0]
+	r.released = r.released[:0]
+
 	w := p.InitialWindow(v)
 	if w.Start < v.TPast {
 		w.Start = v.TPast
@@ -95,10 +121,13 @@ func NewResolver(p Policy, v View) (*Resolver, error) {
 		w.End = v.TNewest
 	}
 	if w.Empty() {
-		return nil, fmt.Errorf("window: initial window %v empty after clamping to [%v, %v]",
+		r.done = true
+		return fmt.Errorf("window: initial window %v empty after clamping to [%v, %v]",
 			w, v.TPast, v.TNewest)
 	}
-	return &Resolver{policy: p, view: v, enabled: w}, nil
+	r.done = false
+	r.enabled = w
+	return nil
 }
 
 // Observe attaches a metrics collector to the process: every window

@@ -110,6 +110,11 @@ func (t *Tracker) PseudoDelay(now, arrival float64) float64 {
 // intervals (for traces and tests).
 func (t *Tracker) ClearedIntervals() []Window { return t.cleared.Intervals() }
 
+// AppendCleared appends the currently cleared intervals to dst and
+// returns the extended slice — the buffer-reusing form of
+// ClearedIntervals for per-slot callers such as the tracer.
+func (t *Tracker) AppendCleared(dst []Window) []Window { return t.cleared.AppendTo(dst) }
+
 // Discards reports whether element (4) is in force.
 func (t *Tracker) Discards() bool { return t.discards }
 

@@ -85,13 +85,24 @@ type IntervalSet struct {
 }
 
 // Add inserts [w.Start, w.End), coalescing with any overlapping or
-// adjacent members.  Empty windows are ignored.
+// adjacent members.  Empty windows are ignored.  The insertion is
+// copy-based and in place: once the backing array has grown to the
+// set's working size, Add never allocates — the simulation hot path
+// (Tracker.Commit after every windowing process) depends on this.
 func (s *IntervalSet) Add(w Window) {
 	if w.Empty() {
 		return
 	}
-	// Find insertion point of the first interval whose End >= w.Start.
-	i := sort.Search(len(s.iv), func(i int) bool { return s.iv[i].End >= w.Start })
+	// Find insertion point: the first interval whose End >= w.Start.
+	i, n := 0, len(s.iv)
+	for i < n {
+		mid := int(uint(i+n) >> 1)
+		if s.iv[mid].End < w.Start {
+			i = mid + 1
+		} else {
+			n = mid
+		}
+	}
 	j := i
 	lo, hi := w.Start, w.End
 	for j < len(s.iv) && s.iv[j].Start <= hi {
@@ -104,7 +115,19 @@ func (s *IntervalSet) Add(w Window) {
 		j++
 	}
 	merged := Window{lo, hi}
-	s.iv = append(s.iv[:i], append([]Window{merged}, s.iv[j:]...)...)
+	if j == i {
+		// Pure insertion: open one slot at i.
+		s.iv = append(s.iv, Window{})
+		copy(s.iv[i+1:], s.iv[i:])
+		s.iv[i] = merged
+		return
+	}
+	// Replace the merged run [i, j) with the single coalesced interval.
+	s.iv[i] = merged
+	if j < len(s.iv) {
+		copy(s.iv[i+1:], s.iv[j:])
+	}
+	s.iv = s.iv[:len(s.iv)-(j-i)+1]
 }
 
 // Covers reports whether t lies inside some member interval.
@@ -155,19 +178,31 @@ func (s *IntervalSet) NewestUncovered(lo, hi float64) (float64, bool) {
 }
 
 // TrimBelow removes all covered mass below t (a horizon advance); interval
-// parts above t are retained.
+// parts above t are retained.  In place and allocation-free: the surviving
+// suffix is shifted down over the dropped prefix.
 func (s *IntervalSet) TrimBelow(t float64) {
-	out := s.iv[:0]
-	for _, w := range s.iv {
-		if w.End <= t {
-			continue
+	// Binary search for the first interval with End > t; everything below
+	// is dropped wholesale.
+	cut, n := 0, len(s.iv)
+	for cut < n {
+		mid := int(uint(cut+n) >> 1)
+		if s.iv[mid].End <= t {
+			cut = mid + 1
+		} else {
+			n = mid
 		}
-		if w.Start < t {
-			w.Start = t
-		}
-		out = append(out, w)
 	}
-	s.iv = out
+	if cut == len(s.iv) {
+		s.iv = s.iv[:0]
+		return
+	}
+	if s.iv[cut].Start < t {
+		s.iv[cut].Start = t
+	}
+	if cut > 0 {
+		m := copy(s.iv, s.iv[cut:])
+		s.iv = s.iv[:m]
+	}
 }
 
 // UncoveredMeasure returns the total uncovered length within [lo, hi).
@@ -230,9 +265,18 @@ func (s *IntervalSet) StartForUncoveredMeasure(lo, hi, measure float64) float64 
 	return lo
 }
 
-// Intervals returns a copy of the member intervals.
+// Intervals returns a copy of the member intervals.  Hot paths should
+// prefer AppendTo, which reuses the caller's buffer.
 func (s *IntervalSet) Intervals() []Window {
 	return append([]Window(nil), s.iv...)
+}
+
+// AppendTo appends the member intervals to dst and returns the extended
+// slice — the non-copying counterpart of Intervals for callers that reuse
+// a buffer across calls.  The appended windows are values; the set keeps
+// ownership of nothing in dst.
+func (s *IntervalSet) AppendTo(dst []Window) []Window {
+	return append(dst, s.iv...)
 }
 
 // Len returns the number of disjoint member intervals.
