@@ -1,9 +1,9 @@
 // Command simbench is the simulator benchmark-regression harness.
 //
 // Run mode (default) times the pinned engine workloads of
-// internal/benchcase, measures the global engine's steady-state
-// allocations per message, prints a table and optionally writes the
-// results as JSON:
+// internal/benchcase, measures each engine's steady-state allocations
+// per message, prints a table and optionally writes the results as
+// JSON:
 //
 //	go run ./cmd/simbench -out BENCH_5.json
 //
@@ -39,9 +39,9 @@ type Result struct {
 	MessagesPerSec float64 `json:"messages_per_sec"`
 	// AllocsPerMessage is the steady-state allocation rate: the malloc
 	// delta between a double-length and a single-length run divided by
-	// the message delta, so one-time setup (report, histogram, buffer
-	// growth) cancels out.  Measured for the global engine only (-1
-	// where not measured).
+	// the message delta, so one-time setup (report, histogram, station
+	// bank, buffer growth) cancels out.  Measured for every workload,
+	// global and multi-station alike.
 	AllocsPerMessage float64 `json:"allocs_per_message"`
 }
 
@@ -127,26 +127,25 @@ func mallocsOf(fn func() error) (uint64, error) {
 	return after.Mallocs - before.Mallocs, nil
 }
 
-// steadyAllocsPerMessage measures the global engine's marginal
-// allocations per message: allocations and messages of a 2×-length run
-// minus those of a 1×-length run.  Setup costs cancel; what remains is
-// the steady-state rate the zero-allocation hot path promises to keep at
-// zero.
-func steadyAllocsPerMessage(cfg sim.Config) (float64, error) {
-	long := cfg
-	long.EndTime = 2 * cfg.EndTime
+// steadyAllocs measures an engine's marginal allocations per message:
+// allocations and messages of a 2×-length run minus those of a
+// 1×-length run.  Setup costs — including a million-station bank —
+// cancel; what remains is the steady-state rate the zero-allocation hot
+// path promises to keep at zero.  run executes the workload at the
+// given EndTime scale and returns its offered-message count.
+func steadyAllocs(run func(endScale float64) (int64, error)) (float64, error) {
 	var shortMsgs, longMsgs int64
 	shortAllocs, err := mallocsOf(func() error {
-		rep, err := sim.RunGlobal(cfg)
-		shortMsgs = rep.Offered
+		var err error
+		shortMsgs, err = run(1)
 		return err
 	})
 	if err != nil {
 		return 0, err
 	}
 	longAllocs, err := mallocsOf(func() error {
-		rep, err := sim.RunGlobal(long)
-		longMsgs = rep.Offered
+		var err error
+		longMsgs, err = run(2)
 		return err
 	})
 	if err != nil {
@@ -163,6 +162,24 @@ func steadyAllocsPerMessage(cfg sim.Config) (float64, error) {
 	return da / float64(dm), nil
 }
 
+func steadyAllocsGlobal(cfg sim.Config) (float64, error) {
+	return steadyAllocs(func(scale float64) (int64, error) {
+		c := cfg
+		c.EndTime = scale * cfg.EndTime
+		rep, err := sim.RunGlobal(c)
+		return rep.Offered, err
+	})
+}
+
+func steadyAllocsMulti(cfg sim.MultiConfig) (float64, error) {
+	return steadyAllocs(func(scale float64) (int64, error) {
+		c := cfg
+		c.EndTime = scale * cfg.EndTime
+		rep, err := sim.RunMultiStation(c)
+		return rep.Offered, err
+	})
+}
+
 func runBench(outPath string, reps int) error {
 	o := Output{
 		Schema:    schemaID,
@@ -175,7 +192,7 @@ func runBench(outPath string, reps int) error {
 		if err != nil {
 			return fmt.Errorf("global/%s: %w", c.Name, err)
 		}
-		apm, err := steadyAllocsPerMessage(c.Cfg)
+		apm, err := steadyAllocsGlobal(c.Cfg)
 		if err != nil {
 			return fmt.Errorf("global/%s: %w", c.Name, err)
 		}
@@ -192,12 +209,16 @@ func runBench(outPath string, reps int) error {
 		if err != nil {
 			return fmt.Errorf("multi/%s: %w", c.Name, err)
 		}
+		apm, err := steadyAllocsMulti(c.Cfg)
+		if err != nil {
+			return fmt.Errorf("multi/%s: %w", c.Name, err)
+		}
 		o.Results = append(o.Results, Result{
 			Name:             "multi/" + c.Name,
 			Messages:         msgs,
 			NsPerMessage:     float64(best.Nanoseconds()) / float64(msgs),
 			MessagesPerSec:   float64(msgs) / best.Seconds(),
-			AllocsPerMessage: -1,
+			AllocsPerMessage: apm,
 		})
 	}
 	fmt.Printf("%-24s %12s %14s %12s\n", "workload", "ns/msg", "msgs/sec", "allocs/msg")

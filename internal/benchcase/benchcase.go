@@ -67,8 +67,32 @@ func Global() []GlobalCase {
 }
 
 // Multi returns the multi-station (discrete-event) engine workloads.
+//
+// The two backlog cases mirror the global pair at a small population;
+// the M-scaling trio holds the operating point fixed (ρ′ = 0.5, the
+// stable figure-7 regime) while the population grows a thousandfold, so
+// any per-slot cost that is secretly O(M) — the old engine's window
+// counting and feedback fan-out were — shows up as a thousandfold
+// ns/message blowup instead of hiding inside a single point.
 func Multi() []MultiCase {
 	g := window.FixedG(2.6)
+	mScale := func(name string, stations int, seed uint64) MultiCase {
+		return MultiCase{
+			Name: name,
+			Cfg: sim.MultiConfig{
+				Config: sim.Config{
+					Policy:  window.Controlled{Length: g},
+					Tau:     1,
+					M:       25,
+					Lambda:  0.5 / 25,
+					K:       50,
+					EndTime: 2e5,
+					Seed:    seed,
+				},
+				Stations: stations,
+			},
+		}
+	}
 	return []MultiCase{
 		{
 			Name: "small-backlog",
@@ -100,5 +124,8 @@ func Multi() []MultiCase {
 				Stations: 16,
 			},
 		},
+		mScale("m1e3", 1_000, 113),
+		mScale("m1e5", 100_000, 127),
+		mScale("m1e6", 1_000_000, 131),
 	}
 }

@@ -1,0 +1,202 @@
+package des
+
+import (
+	"fmt"
+	"math"
+)
+
+// calendarQueue is the calendar (bucket) event backend of Brown's classic
+// design, specialized for the kernel's slot-synchronous workloads: time is
+// divided into "days" of a fixed bucket width, day d hashes to ring bucket
+// d mod nbuckets, and extraction scans forward from the current day.  When
+// consecutive event times advance by about one bucket width — the protocol
+// engines schedule the next slot boundary τ or M·τ ahead — both insert and
+// extract are O(1) amortized.  Events far in the future sit in their ring
+// bucket and are skipped (not removed) whenever the scan passes their
+// position in an earlier "year"; a full-ring scan without a match falls
+// back to a direct minimum search, so arbitrary schedules stay correct,
+// just not O(1).
+//
+// Cancellation is lazy: canceled events keep their slot until the scan
+// reaches them, then are dropped.  Dispatch order is identical to the heap
+// backend — eventLess compares (Time, Priority, seq) — which the
+// equivalence tests pin on random schedules.
+type calendarQueue struct {
+	width   float64
+	buckets [][]*Event
+	mask    int64
+	curDay  int64 // scan start; never above the earliest queued event's day
+	size    int   // queued events, canceled included
+
+	// cached memoizes the earliest live event between mutations so that a
+	// next/pop pair costs one scan, not two.
+	cached  *Event
+	cachedB int // ring bucket holding cached
+	cachedI int // index of cached within its bucket
+}
+
+const calendarInitialBuckets = 16
+
+func newCalendarQueue(bucketWidth float64) *calendarQueue {
+	if bucketWidth <= 0 || math.IsNaN(bucketWidth) || math.IsInf(bucketWidth, 0) {
+		panic(fmt.Sprintf("des: calendar bucket width %v must be positive and finite", bucketWidth))
+	}
+	return &calendarQueue{
+		width:   bucketWidth,
+		buckets: make([][]*Event, calendarInitialBuckets),
+		mask:    calendarInitialBuckets - 1,
+	}
+}
+
+func (q *calendarQueue) day(t float64) int64 { return int64(math.Floor(t / q.width)) }
+
+func (q *calendarQueue) push(e *Event) {
+	if q.size >= 4*len(q.buckets) {
+		q.grow()
+	}
+	d := q.day(e.Time)
+	b := int(d & q.mask)
+	q.buckets[b] = append(q.buckets[b], e)
+	q.size++
+	if q.size == 1 || d < q.curDay {
+		q.curDay = d
+	}
+	if q.cached != nil && eventLess(e, q.cached) {
+		q.cached = e
+		q.cachedB = b
+		q.cachedI = len(q.buckets[b]) - 1
+	}
+}
+
+// grow doubles the ring and redistributes every queued event; amortized
+// O(1) per push.  Physically dropped canceled events shrink size first.
+func (q *calendarQueue) grow() {
+	old := q.buckets
+	q.buckets = make([][]*Event, 2*len(old))
+	q.mask = int64(len(q.buckets) - 1)
+	q.size = 0
+	q.cached = nil
+	for _, bucket := range old {
+		for _, e := range bucket {
+			if e.canceled {
+				continue
+			}
+			b := int(q.day(e.Time) & q.mask)
+			q.buckets[b] = append(q.buckets[b], e)
+			q.size++
+		}
+	}
+}
+
+// dropAt swap-removes index i of bucket b, preserving the position of a
+// tracked index (returned adjusted) when the swapped-in tail element was
+// the tracked one.
+func (q *calendarQueue) dropAt(b, i, tracked int) int {
+	bucket := q.buckets[b]
+	last := len(bucket) - 1
+	if tracked == last {
+		tracked = i
+	}
+	bucket[i] = bucket[last]
+	bucket[last] = nil
+	q.buckets[b] = bucket[:last]
+	q.size--
+	return tracked
+}
+
+// findMin locates the earliest live event and memoizes it; nil when the
+// queue holds none.  Canceled events encountered along the way are
+// physically dropped.
+func (q *calendarQueue) findMin() *Event {
+	if q.cached != nil {
+		return q.cached
+	}
+	if q.size == 0 {
+		return nil
+	}
+	// Calendar scan: the first day (from curDay) owning a live event
+	// contains the global minimum — later days cannot hold earlier times.
+	n := len(q.buckets)
+	for scanned, d := 0, q.curDay; scanned < n; scanned, d = scanned+1, d+1 {
+		b := int(d & q.mask)
+		best, bestIdx := (*Event)(nil), -1
+		bucket := q.buckets[b]
+		for i := 0; i < len(bucket); {
+			e := bucket[i]
+			if e.canceled {
+				bestIdx = q.dropAt(b, i, bestIdx)
+				bucket = q.buckets[b]
+				continue
+			}
+			if q.day(e.Time) == d && (best == nil || eventLess(e, best)) {
+				best, bestIdx = e, i
+			}
+			i++
+		}
+		if best != nil {
+			q.curDay = d
+			q.cached, q.cachedB, q.cachedI = best, b, bestIdx
+			return best
+		}
+	}
+	// Every queued event lies more than a full ring ahead: locate the
+	// minimum directly and jump the scan to its day.
+	best, bestB, bestIdx := (*Event)(nil), -1, -1
+	for b := range q.buckets {
+		bucket := q.buckets[b]
+		for i := 0; i < len(bucket); {
+			e := bucket[i]
+			if e.canceled {
+				if b == bestB {
+					bestIdx = q.dropAt(b, i, bestIdx)
+				} else {
+					q.dropAt(b, i, -1)
+				}
+				bucket = q.buckets[b]
+				continue
+			}
+			if best == nil || eventLess(e, best) {
+				best, bestB, bestIdx = e, b, i
+			}
+			i++
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	q.curDay = q.day(best.Time)
+	q.cached, q.cachedB, q.cachedI = best, bestB, bestIdx
+	return best
+}
+
+func (q *calendarQueue) next() *Event { return q.findMin() }
+
+func (q *calendarQueue) pop() *Event {
+	e := q.findMin()
+	if e == nil {
+		return nil
+	}
+	q.dropAt(q.cachedB, q.cachedI, -1)
+	q.cached = nil
+	return e
+}
+
+// unlink is lazy: the canceled flag set by the caller makes the scan drop
+// the event when it next passes; only the memoized minimum needs care.
+func (q *calendarQueue) unlink(e *Event) {
+	if q.cached == e {
+		q.cached = nil
+	}
+}
+
+func (q *calendarQueue) live() int {
+	n := 0
+	for _, bucket := range q.buckets {
+		for _, e := range bucket {
+			if !e.canceled {
+				n++
+			}
+		}
+	}
+	return n
+}

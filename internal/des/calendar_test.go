@@ -1,0 +1,121 @@
+package des
+
+import (
+	"testing"
+
+	"windowctl/internal/rngutil"
+)
+
+func TestNewCalendarBadWidthPanics(t *testing.T) {
+	for _, w := range []float64{0, -1, nan(), inf()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCalendar(%v) did not panic", w)
+				}
+			}()
+			NewCalendar(w)
+		}()
+	}
+}
+
+func nan() float64 { z := 0.0; return z / z }
+func inf() float64 { z := 0.0; return 1 / z }
+
+// record drives one simulator through a deterministic schedule derived
+// from seed — slot-like advances, bursts of ties, far-future jumps, events
+// scheduled from inside callbacks, and cancellations — and returns the
+// dispatch log.
+func record(s *Simulator, seed uint64) []float64 {
+	rng := rngutil.New(seed)
+	var log []float64
+	var cancelable []*Event
+	schedule := func(t float64, prio int) {
+		e := s.Schedule(t, prio, func() {
+			log = append(log, s.Now())
+			// A quarter of callbacks schedule follow-up work, half of it
+			// slot-synchronous, half far ahead.
+			if rng.Intn(4) == 0 {
+				dt := 1.0
+				if rng.Intn(2) == 0 {
+					dt = 1 + float64(rng.Intn(400))
+				}
+				s.ScheduleAfter(dt, rng.Intn(3), func() {
+					log = append(log, -s.Now())
+				})
+			}
+		})
+		if rng.Intn(5) == 0 {
+			cancelable = append(cancelable, e)
+		}
+	}
+	t := 0.0
+	for i := 0; i < 500; i++ {
+		switch rng.Intn(10) {
+		case 0: // far-future jump
+			t += float64(1 + rng.Intn(300))
+		case 1, 2: // tie burst at the same instant
+			for j := 0; j < 1+rng.Intn(4); j++ {
+				schedule(t, rng.Intn(3))
+			}
+		default: // slot-like advance
+			t += rng.Float64() * 2
+		}
+		schedule(t, rng.Intn(3))
+	}
+	for i, e := range cancelable {
+		if i%2 == 0 {
+			s.Cancel(e)
+		}
+	}
+	s.Run()
+	return log
+}
+
+// TestCalendarMatchesHeap pins the two backends to the same total dispatch
+// order on adversarial random schedules, across bucket widths much smaller
+// and much larger than the typical inter-event gap.
+func TestCalendarMatchesHeap(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		want := record(New(), seed)
+		for _, width := range []float64{0.01, 1, 64} {
+			got := record(NewCalendar(width), seed)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d width %v: %d dispatches, heap had %d", seed, width, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d width %v: dispatch %d at %v, heap at %v", seed, width, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCalendarSteadyStateNoAlloc checks the slot-synchronous hot loop —
+// one event per slot, each scheduling the next — runs allocation-free
+// once the freelist and buckets are warm.
+func TestCalendarSteadyStateNoAlloc(t *testing.T) {
+	s := NewCalendar(1)
+	var slot func()
+	slot = func() { s.ScheduleAfter(1, 0, slot) }
+	s.Schedule(0, 0, slot)
+	for i := 0; i < 1000; i++ {
+		s.Step()
+	}
+	if avg := testing.AllocsPerRun(1000, func() { s.Step() }); avg != 0 {
+		t.Fatalf("steady-state Step allocates %v times per slot", avg)
+	}
+}
+
+func BenchmarkScheduleDispatchCalendar(b *testing.B) {
+	s := NewCalendar(1)
+	var slot func()
+	slot = func() { s.ScheduleAfter(1, 0, slot) }
+	s.Schedule(0, 0, slot)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}

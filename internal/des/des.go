@@ -6,10 +6,18 @@
 // Determinism matters — two events at the same instant are dispatched in
 // (priority, insertion-order) sequence, so a simulation run is a pure
 // function of its seed.
+//
+// Two pending-event structures are available, selected at construction and
+// dispatching in exactly the same order (the tests drive both against
+// random schedules and demand identical pop sequences):
+//
+//   - a binary heap (New), O(log n) per operation — the general default;
+//   - a calendar queue (NewCalendar), O(1) amortized insert and extract for
+//     the slot-synchronous workloads the protocol engines generate, where
+//     event times advance in near-uniform slot increments.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -30,58 +38,101 @@ type Event struct {
 	Fn func()
 
 	seq      uint64 // insertion order, final tie-break
-	index    int    // heap index, -1 when not queued
+	index    int    // heap index, -1 when not queued (heap backend only)
 	canceled bool
 }
 
 // Canceled reports whether the event was canceled before firing.
 func (e *Event) Canceled() bool { return e.canceled }
 
-type eventHeap []*Event
+// eventLess is the kernel's total dispatch order.
+func eventLess(a, b *Event) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Priority != b.Priority {
+		return a.Priority < b.Priority
+	}
+	return a.seq < b.seq
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].Time != h[j].Time {
-		return h[i].Time < h[j].Time
+// eventQueue is the pending-event set.  Implementations must dispatch in
+// eventLess order.
+type eventQueue interface {
+	push(e *Event)
+	// next returns the earliest non-canceled event without removing it,
+	// physically discarding canceled events as they surface; nil when none
+	// remain.
+	next() *Event
+	// pop removes and returns the earliest non-canceled event; nil when
+	// none remain.
+	pop() *Event
+	// unlink removes a just-canceled event eagerly where the structure
+	// affords it; lazy implementations leave the canceled flag to pop/next.
+	unlink(e *Event)
+	// live counts queued non-canceled events.
+	live() int
+}
+
+// QueueKind selects the pending-event structure backing a Simulator.
+type QueueKind int
+
+const (
+	// QueueHeap is the binary-heap backend, O(log n) per operation.
+	QueueHeap QueueKind = iota
+	// QueueCalendar is the calendar-queue backend, O(1) amortized for
+	// slot-synchronous workloads (see NewCalendar).
+	QueueCalendar
+)
+
+// String implements fmt.Stringer.
+func (k QueueKind) String() string {
+	switch k {
+	case QueueHeap:
+		return "heap"
+	case QueueCalendar:
+		return "calendar"
+	default:
+		return fmt.Sprintf("QueueKind(%d)", int(k))
 	}
-	if h[i].Priority != h[j].Priority {
-		return h[i].Priority < h[j].Priority
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
 }
 
 // Simulator owns the clock and the pending-event set.
 type Simulator struct {
 	now        float64
-	events     eventHeap
+	q          eventQueue
 	seq        uint64
 	dispatched uint64
 	running    bool
 	free       []*Event // fired events awaiting reuse
 }
 
-// New returns an empty simulator with the clock at zero.
+// New returns an empty simulator with the clock at zero, backed by the
+// binary heap.
 func New() *Simulator {
-	return &Simulator{}
+	return &Simulator{q: &heapQueue{}}
+}
+
+// NewCalendar returns an empty simulator backed by a calendar queue with
+// the given bucket width — use the workload's characteristic inter-event
+// gap (the slot time τ for the protocol engines).  It panics on a
+// non-positive or non-finite width.
+func NewCalendar(bucketWidth float64) *Simulator {
+	return &Simulator{q: newCalendarQueue(bucketWidth)}
+}
+
+// NewWithQueue returns an empty simulator backed by the selected queue
+// kind; bucketWidth parameterizes QueueCalendar and is ignored for
+// QueueHeap.
+func NewWithQueue(kind QueueKind, bucketWidth float64) *Simulator {
+	switch kind {
+	case QueueHeap:
+		return New()
+	case QueueCalendar:
+		return NewCalendar(bucketWidth)
+	default:
+		panic(fmt.Sprintf("des: unknown queue kind %d", kind))
+	}
 }
 
 // Now returns the current simulation time.
@@ -91,15 +142,7 @@ func (s *Simulator) Now() float64 { return s.now }
 func (s *Simulator) Dispatched() uint64 { return s.dispatched }
 
 // Pending returns the number of queued (non-canceled) events.
-func (s *Simulator) Pending() int {
-	n := 0
-	for _, e := range s.events {
-		if !e.canceled {
-			n++
-		}
-	}
-	return n
-}
+func (s *Simulator) Pending() int { return s.q.live() }
 
 // Schedule queues fn to run at the absolute time t with the given
 // priority.  Scheduling in the past panics — it always indicates a model
@@ -120,7 +163,7 @@ func (s *Simulator) Schedule(t float64, priority int, fn func()) *Event {
 		e = &Event{Time: t, Priority: priority, Fn: fn, seq: s.seq}
 	}
 	s.seq++
-	heap.Push(&s.events, e)
+	s.q.push(e)
 	return e
 }
 
@@ -134,35 +177,29 @@ func (s *Simulator) ScheduleAfter(delay float64, priority int, fn func()) *Event
 // the kernel has recycled it, so the pointer may identify a different,
 // still-queued event (see the Event doc).
 func (s *Simulator) Cancel(e *Event) {
-	if e == nil || e.canceled || e.index < 0 {
-		if e != nil {
-			e.canceled = true
-		}
+	if e == nil || e.canceled {
 		return
 	}
 	e.canceled = true
-	heap.Remove(&s.events, e.index)
+	s.q.unlink(e)
 }
 
 // Step dispatches the single next event.  It returns false when no events
 // remain.
 func (s *Simulator) Step() bool {
-	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(*Event)
-		if e.canceled {
-			continue
-		}
-		s.now = e.Time
-		s.dispatched++
-		// Recycle before dispatch: the callback typically schedules the
-		// next slot, which can then reuse this very event.
-		fn := e.Fn
-		e.Fn = nil
-		s.free = append(s.free, e)
-		fn()
-		return true
+	e := s.q.pop()
+	if e == nil {
+		return false
 	}
-	return false
+	s.now = e.Time
+	s.dispatched++
+	// Recycle before dispatch: the callback typically schedules the
+	// next slot, which can then reuse this very event.
+	fn := e.Fn
+	e.Fn = nil
+	s.free = append(s.free, e)
+	fn()
+	return true
 }
 
 // Run dispatches events until the queue is empty.
@@ -181,16 +218,8 @@ func (s *Simulator) RunUntil(tEnd float64) {
 	}
 	s.running = true
 	for s.running {
-		// Peek.
-		var next *Event
-		for len(s.events) > 0 && s.events[0].canceled {
-			heap.Pop(&s.events)
-		}
-		if len(s.events) == 0 {
-			break
-		}
-		next = s.events[0]
-		if next.Time > tEnd {
+		next := s.q.next()
+		if next == nil || next.Time > tEnd {
 			break
 		}
 		s.Step()

@@ -1,0 +1,68 @@
+package des
+
+import "container/heap"
+
+// heapQueue is the binary-heap event backend.  Cancellation removes
+// eagerly, so every queued event is live.
+type heapQueue struct {
+	events eventHeap
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return eventLess(h[i], h[j]) }
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+func (q *heapQueue) push(e *Event) { heap.Push(&q.events, e) }
+
+func (q *heapQueue) next() *Event {
+	for len(q.events) > 0 && q.events[0].canceled {
+		heap.Pop(&q.events)
+	}
+	if len(q.events) == 0 {
+		return nil
+	}
+	return q.events[0]
+}
+
+func (q *heapQueue) pop() *Event {
+	if q.next() == nil {
+		return nil
+	}
+	return heap.Pop(&q.events).(*Event)
+}
+
+func (q *heapQueue) unlink(e *Event) {
+	if e.index >= 0 {
+		heap.Remove(&q.events, e.index)
+	}
+}
+
+func (q *heapQueue) live() int {
+	n := 0
+	for _, e := range q.events {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}

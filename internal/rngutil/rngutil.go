@@ -58,18 +58,13 @@ type Stream struct {
 
 // New returns a Stream seeded from a single 64-bit value.  Distinct seeds
 // yield statistically independent streams.
+//
+// An all-zero state is the single forbidden xoshiro state; SplitMix64
+// cannot produce four consecutive zeros from any seed, but Seeded guards
+// anyway.
 func New(seed uint64) *Stream {
-	st := &Stream{seed: seed}
-	sm := seed
-	for i := range st.s {
-		st.s[i] = splitmix64(&sm)
-	}
-	// An all-zero state is the single forbidden xoshiro state; SplitMix64
-	// cannot produce four consecutive zeros from any seed, but guard anyway.
-	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
-		st.s[0] = 0x9e3779b97f4a7c15
-	}
-	return st
+	st := Seeded(seed)
+	return &st
 }
 
 // Seed returns the seed the stream was created with.
@@ -111,10 +106,37 @@ func (r *Stream) Uint64() uint64 {
 // has consumed.
 func (r *Stream) Spawn() *Stream {
 	r.next++
+	return New(ChildSeed(r.seed, r.next))
+}
+
+// ChildSeed returns the seed of the k-th (1-based) child a Stream seeded
+// with parent would produce via Spawn.  Because child identity is a pure
+// function of (parent seed, child index), work sharded across any number
+// of workers can derive each child stream directly — the million-station
+// engine seeds its struct-of-arrays station state this way, bit-identical
+// at any worker count.  ChildSeed(parent, k) == the seed of the k-th
+// New(parent).Spawn() result; the tests pin the equivalence.
+func ChildSeed(parent uint64, k uint64) uint64 {
 	// Mix seed and counter through SplitMix64 twice for avalanche.
-	sm := r.seed ^ (r.next * 0xd1342543de82ef95)
-	childSeed := splitmix64(&sm)
-	return New(childSeed)
+	sm := parent ^ (k * 0xd1342543de82ef95)
+	return splitmix64(&sm)
+}
+
+// Seeded returns a Stream by value, seeded exactly like New.  It exists
+// for struct-of-arrays state that stores millions of streams in one flat
+// slice: `streams[i] = rngutil.Seeded(seed)` initializes in place with no
+// per-stream heap allocation.
+func Seeded(seed uint64) Stream {
+	var st Stream
+	st.seed = seed
+	sm := seed
+	for i := range st.s {
+		st.s[i] = splitmix64(&sm)
+	}
+	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
+		st.s[0] = 0x9e3779b97f4a7c15
+	}
+	return st
 }
 
 // SpawnN returns n independent child streams (see Spawn).

@@ -340,3 +340,27 @@ func TestMix64(t *testing.T) {
 		}
 	}
 }
+
+func TestChildSeedMatchesSpawn(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 0x9e3779b97f4a7c15, ^uint64(0)} {
+		root := New(seed)
+		for k := uint64(1); k <= 64; k++ {
+			child := root.Spawn()
+			if got, want := ChildSeed(seed, k), child.Seed(); got != want {
+				t.Fatalf("ChildSeed(%#x, %d) = %#x, Spawn gave %#x", seed, k, got, want)
+			}
+		}
+	}
+}
+
+func TestSeededMatchesNew(t *testing.T) {
+	for _, seed := range []uint64{0, 7, 0xdeadbeef} {
+		a := New(seed)
+		b := Seeded(seed)
+		for i := 0; i < 100; i++ {
+			if av, bv := a.Uint64(), b.Uint64(); av != bv {
+				t.Fatalf("seed %#x draw %d: New gave %#x, Seeded gave %#x", seed, i, av, bv)
+			}
+		}
+	}
+}

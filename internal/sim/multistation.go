@@ -3,12 +3,12 @@ package sim
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"windowctl/internal/channel"
 	"windowctl/internal/des"
 	"windowctl/internal/fault"
 	"windowctl/internal/metrics"
-	"windowctl/internal/rngutil"
 	"windowctl/internal/station"
 	"windowctl/internal/stats"
 	"windowctl/internal/window"
@@ -20,44 +20,122 @@ type MultiConfig struct {
 	// Stations is the number of senders; the total rate Lambda is split
 	// evenly among them.  Must be >= 1.
 	Stations int
-	// VerifyLockstep asserts, every slot, that all stations' protocol
-	// state machines agree on the enabled window — the distributed-
-	// consistency property the protocol depends on.  Costs O(N) per slot.
+	// VerifyLockstep verifies the distributed-consistency property the
+	// protocol depends on — all stations' state machines, driven only by
+	// common channel feedback, agree on the enabled window.  The check is
+	// sampled: LockstepSample per-station state machines are maintained
+	// and compared against the reference every LockstepEvery probe slots
+	// and at every process end, costing O(sample) instead of the former
+	// O(M) per slot.
 	VerifyLockstep bool
+	// LockstepEvery is the probe-slot period of the sampled comparison;
+	// <= 0 means every 64 slots.
+	LockstepEvery int
+	// LockstepSample is how many stations' state machines are verified;
+	// <= 0 means min(4, Stations).
+	LockstepSample int
 	// Arrivals, when non-nil, supplies each station's arrival process
 	// (e.g. an on/off talkspurt source) instead of the default Poisson
 	// split of Lambda.  Config.Lambda must still give the aggregate mean
-	// rate — it parameterizes the window-length rule.
+	// rate — it parameterizes the window-length rule.  The factory is
+	// called sequentially in station-index order.
 	Arrivals func(station int) station.ArrivalProcess
+	// Workers shards station-state initialization and, in the dense
+	// per-station engine, the O(M) per-slot loops.  <= 0 means GOMAXPROCS.
+	// Reports are bit-identical at any value.
+	Workers int
+	// EventQueue selects the kernel's pending-event backend
+	// (des.QueueHeap, the zero value, or des.QueueCalendar with bucket
+	// width Tau).  Both dispatch in identical order, so reports do not
+	// depend on the choice.
+	EventQueue des.QueueKind
+
+	// forceDense routes the run through the per-station reference engine
+	// even when the shared fast path applies (test-only: the equivalence
+	// suite drives both engines over one config and requires bit-identical
+	// reports).
+	forceDense bool
+	// lockstepFaultAt, when > 0, corrupts one verified state machine's
+	// feedback from that probe slot onward (test-only: proves sampled
+	// verification still catches desynchronization).
+	lockstepFaultAt int64
 }
 
-// multiState is the distributed simulation: every station runs its own
-// Tracker and Resolver fed only by common channel feedback, exactly as the
-// protocol prescribes.  A station holding two or more pending messages
-// inside the enabled window jams the slot (it cannot transmit both), so
-// channel feedback reflects the network-wide *message* count in the
-// window, matching the paper's model in which message arrivals, not
-// stations, are the windowed entities.
+// workerCount resolves the Workers field.
+func (cfg *MultiConfig) workerCount() int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// lockstepPlan resolves the sampled-verification parameters: the
+// comparison period and the verified station indices (evenly spread over
+// the population, always including station 0's successor range).
+func lockstepPlan(cfg MultiConfig) (every int64, idx []int) {
+	if !cfg.VerifyLockstep {
+		return 1, nil
+	}
+	every = int64(cfg.LockstepEvery)
+	if every <= 0 {
+		every = 64
+	}
+	sample := cfg.LockstepSample
+	if sample <= 0 {
+		sample = 4
+	}
+	if sample > cfg.Stations {
+		sample = cfg.Stations
+	}
+	stride := cfg.Stations / sample
+	for k := 0; k < sample; k++ {
+		idx = append(idx, k*stride)
+	}
+	return every, idx
+}
+
+// multiState is the shared-state fast path of the multi-station engine.
+//
+// Under common feedback — perfect channels and common-noise faults — the
+// protocol guarantees every station's Tracker and Resolver hold identical
+// state at all times (that is the distributed-consistency property
+// VerifyLockstep checks).  The engine therefore keeps ONE resolver, ONE
+// tracker and one shared pending multiset (a station.Bank) instead of M
+// replicas, making a probe slot O(log backlog) independent of M: the same
+// decisions, the same feedback sequence, and bit-identical reports to the
+// per-station reference engine (denseState), at a million stations.
+//
+// What remains genuinely per-station — the arrival streams — lives in the
+// Bank's struct-of-arrays state.  Per-station feedback faults break the
+// symmetry (stations truly diverge), so that one case routes to the dense
+// engine instead.
 type multiState struct {
 	cfg       MultiConfig
 	kernel    *des.Simulator
 	ch        *channel.Channel
-	stations  []*station.Station
-	trackers  []*window.Tracker
-	resolvers []*window.Resolver // persistent, recycled via Reset each epoch
-	inProcess bool               // a windowing process is underway
-	policies  []window.Policy    // per-station replica (common randomness)
+	bank      *station.Bank
+	tracker   *window.Tracker
+	resolver  *window.Resolver
+	policy    window.Policy
+	inProcess bool
 	col       metrics.Collector
 	inj       *fault.Injector // nil unless fault injection is enabled
 	fo        metrics.FaultObserver
 	slotIdx   int64 // probe-slot counter indexing the fault schedule
-	perceived []window.Feedback
 	rep       Report
 	lastTxEnd float64
-	resident  int64 // messages still queued anywhere when the run ended
+	resident  int64
 	runErr    error
-	discardFn func(station.Message)
+	discardFn func(arrival float64)
 	slotFn    func() // m.slot bound once; a fresh method value per Schedule would allocate every slot
+
+	// Lockstep verification: shadows are real per-station Resolver
+	// replicas (with their own policy forks) driven by the same feedback
+	// stream; they must shadow the shared resolver exactly.
+	shadows    []*window.Resolver
+	shadowPols []window.Policy
+	lockEvery  int64
+	probeSlots int64
 }
 
 // RunMultiStation simulates the distributed protocol and returns the
@@ -71,9 +149,28 @@ func RunMultiStation(cfg MultiConfig) (Report, error) {
 	if cfg.Stations < 1 {
 		return Report{}, fmt.Errorf("sim: need >= 1 station, got %d", cfg.Stations)
 	}
+	if cfg.EventQueue != des.QueueHeap && cfg.EventQueue != des.QueueCalendar {
+		return Report{}, fmt.Errorf("sim: unknown event queue kind %d", cfg.EventQueue)
+	}
+	// Per-station fault perception breaks the cross-station symmetry the
+	// shared fast path rests on; only that case needs the O(M)-per-slot
+	// reference engine.
+	if cfg.forceDense || (cfg.Faults.Enabled() && cfg.Faults.PerStation) {
+		return runMultiDense(cfg)
+	}
+	m, err := newMultiState(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	return m.run()
+}
+
+// newMultiState builds the shared-path engine without running it (the
+// allocation tests drive the kernel step by step).
+func newMultiState(cfg MultiConfig) (*multiState, error) {
 	m := &multiState{
 		cfg:    cfg,
-		kernel: des.New(),
+		kernel: des.NewWithQueue(cfg.EventQueue, cfg.Tau),
 		ch:     channel.New(cfg.Tau, cfg.M*cfg.Tau),
 		col:    metrics.OrNop(cfg.Collector),
 		fo:     metrics.FaultObserverOrNop(cfg.Collector),
@@ -81,60 +178,60 @@ func RunMultiStation(cfg MultiConfig) (Report, error) {
 	if cfg.Faults.Enabled() {
 		inj, err := fault.NewInjector(cfg.Faults)
 		if err != nil {
-			return Report{}, err
+			return nil, err
 		}
 		m.inj = inj
-		m.perceived = make([]window.Feedback, cfg.Stations)
 	}
-	// Slots are recorded by the channel, arrivals and discards by the
-	// stations; the collector sees the same event stream the global-view
-	// simulator reports directly.
 	m.ch.Observe(cfg.Collector)
 	m.rep.WaitHist = stats.NewHistogram(cfg.Tau, int(cfg.K/cfg.Tau)+64)
-	root := rngutil.New(cfg.Seed)
-	var nextID int64
-	perStation := cfg.Lambda / float64(cfg.Stations)
-	for i := 0; i < cfg.Stations; i++ {
-		var proc station.ArrivalProcess = station.Poisson{Rate: perStation}
-		if cfg.Arrivals != nil {
-			proc = cfg.Arrivals(i)
-			if proc == nil {
-				return Report{}, fmt.Errorf("sim: Arrivals returned nil for station %d", i)
+	bank, err := station.NewBank(cfg.Stations, cfg.Seed, cfg.Lambda/float64(cfg.Stations), cfg.Arrivals, cfg.workerCount())
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	bank.Observe(cfg.Collector)
+	m.bank = bank
+	m.tracker = window.NewTracker(0, cfg.K, cfg.Policy.Discards())
+	// The shared policy replica forks exactly like the per-station
+	// replicas of the reference engine, so common-randomness draws match
+	// it sequence for sequence.
+	m.policy = cfg.Policy
+	if f, ok := cfg.Policy.(window.ForkablePolicy); ok {
+		m.policy = f.Fork()
+	}
+	m.resolver = &window.Resolver{}
+	if cfg.Faults.Enabled() {
+		m.resolver.SetFaultTolerant(true)
+	}
+	m.resolver.Observe(cfg.Collector)
+	if cfg.VerifyLockstep {
+		var idx []int
+		m.lockEvery, idx = lockstepPlan(cfg)
+		for range idx {
+			r := &window.Resolver{}
+			if cfg.Faults.Enabled() {
+				r.SetFaultTolerant(true)
 			}
-		}
-		st := station.New(i, proc, root.Spawn(), &nextID)
-		st.Observe(cfg.Collector)
-		m.stations = append(m.stations, st)
-		m.trackers = append(m.trackers, window.NewTracker(0, cfg.K, cfg.Policy.Discards()))
-		// A policy carrying common randomness is replicated per station:
-		// each replica makes the same draw sequence, as real stations
-		// seeded with one agreed value would.
-		if f, ok := cfg.Policy.(window.ForkablePolicy); ok {
-			m.policies = append(m.policies, f.Fork())
-		} else {
-			m.policies = append(m.policies, cfg.Policy)
+			m.shadows = append(m.shadows, r)
+			pol := cfg.Policy
+			if f, ok := cfg.Policy.(window.ForkablePolicy); ok {
+				pol = f.Fork()
+			}
+			m.shadowPols = append(m.shadowPols, pol)
 		}
 	}
-	m.resolvers = make([]*window.Resolver, cfg.Stations)
-	for i := range m.resolvers {
-		m.resolvers[i] = &window.Resolver{}
-		if cfg.Faults.Enabled() {
-			m.resolvers[i].SetFaultTolerant(true)
-		}
-	}
-	// Only one of the (identical, lockstep) resolvers observes, or every
-	// split would be counted once per station.
-	m.resolvers[0].Observe(cfg.Collector)
-	m.discardFn = func(d station.Message) {
-		if m.measured(d.Arrival) {
+	m.discardFn = func(arrival float64) {
+		if m.measured(arrival) {
 			m.rep.LostSender++
 		}
 	}
 	m.slotFn = m.slot
+	return m, nil
+}
 
-	checkpoint, check := conservationStart(cfg.Collector)
+func (m *multiState) run() (Report, error) {
+	checkpoint, check := conservationStart(m.cfg.Collector)
 	m.kernel.Schedule(0, 0, m.slotFn)
-	m.kernel.RunUntil(cfg.EndTime)
+	m.kernel.RunUntil(m.cfg.EndTime)
 	if m.runErr != nil {
 		return m.rep, m.runErr
 	}
@@ -152,6 +249,66 @@ func (m *multiState) fail(err error) {
 	m.kernel.Stop()
 }
 
+// feedShadows distributes this slot's feedback to the verified shadow
+// state machines (the test hook corrupts the last one at the configured
+// probe slot).
+func (m *multiState) feedShadows(fb window.Feedback) {
+	if len(m.shadows) == 0 {
+		return
+	}
+	corrupt := -1
+	if m.cfg.lockstepFaultAt > 0 && m.probeSlots >= m.cfg.lockstepFaultAt {
+		corrupt = len(m.shadows) - 1
+	}
+	for i, r := range m.shadows {
+		if i == corrupt {
+			r.OnFeedback(corruptFeedback(fb))
+		} else {
+			r.OnFeedback(fb)
+		}
+	}
+}
+
+// checkLockstep compares the shadow state machines against the shared
+// resolver — the full state (done, outcome, examined intervals) whenever
+// the process just ended, and the enabled window every lockEvery-th probe
+// slot mid-process.
+func (m *multiState) checkLockstep() bool {
+	if len(m.shadows) == 0 {
+		return true
+	}
+	r0 := m.resolver
+	if !r0.Done() && m.probeSlots%m.lockEvery != 0 {
+		return true
+	}
+	for i, r := range m.shadows {
+		bad := r.Done() != r0.Done()
+		if !bad && !r0.Done() {
+			bad = r.Enabled() != r0.Enabled()
+		}
+		if !bad && r0.Done() {
+			bad = r.Success() != r0.Success()
+			ex0, ex := r0.Examined(), r.Examined()
+			if !bad && len(ex) != len(ex0) {
+				bad = true
+			}
+			if !bad {
+				for j := range ex {
+					if ex[j] != ex0[j] {
+						bad = true
+						break
+					}
+				}
+			}
+		}
+		if bad {
+			m.fail(fmt.Errorf("sim: shadow station %d diverged from the shared resolver — lockstep broken", i))
+			return false
+		}
+	}
+	return true
+}
+
 // slot executes one protocol slot: decision epoch if needed, one probe,
 // feedback distribution, and scheduling of the next slot.
 func (m *multiState) slot() {
@@ -159,13 +316,8 @@ func (m *multiState) slot() {
 	if now >= m.cfg.EndTime {
 		return
 	}
-	for _, s := range m.stations {
-		s.GenerateUntil(now)
-	}
-	backlog := 0
-	for _, s := range m.stations {
-		backlog += s.QueueLen()
-	}
+	m.bank.GenerateUntil(now)
+	backlog := m.bank.Len()
 	if backlog > m.rep.MaxBacklog {
 		m.rep.MaxBacklog = backlog
 	}
@@ -179,225 +331,118 @@ func (m *multiState) slot() {
 	}
 
 	if !m.inProcess {
-		// Decision epoch at every station.
+		// The common decision epoch.
 		if !m.beginProcess(now) {
 			// Nothing unexamined yet: idle for one slot.
 			m.kernel.ScheduleAfter(m.cfg.Tau, 0, m.slotFn)
 			return
 		}
 	}
+	m.probeSlots++
 
 	if m.inj != nil {
 		m.faultySlot(now)
 		return
 	}
 
-	enabled := m.resolvers[0].Enabled()
-	if m.cfg.VerifyLockstep {
-		for i, r := range m.resolvers {
-			if r.Enabled() != enabled {
-				m.fail(fmt.Errorf("sim: station %d enabled %v, station 0 enabled %v — lockstep broken",
-					i, r.Enabled(), enabled))
-				return
-			}
-		}
-	}
-
-	// Stations transmit; multiple messages at one station jam the slot.
-	totalMsgs := 0
-	txStation := -1
-	for i, s := range m.stations {
-		c := s.CountIn(enabled)
-		if c > 0 {
-			totalMsgs += c
-			txStation = i
-		}
-	}
+	// One station with one pending message in the window transmits;
+	// several messages — at one station or many — jam the slot, so the
+	// feedback depends only on the network-wide message count.
+	enabled := m.resolver.Enabled()
+	totalMsgs := m.bank.CountIn(enabled)
 	fb, dur := m.ch.ResolveSlot(totalMsgs)
 
-	for _, r := range m.resolvers {
-		r.OnFeedback(fb)
-	}
+	m.resolver.OnFeedback(fb)
+	m.feedShadows(fb)
 
 	if fb == window.Success {
-		msg, ok := m.stations[txStation].PopOldestIn(enabled)
+		arrival, _, ok := m.bank.PopOldestIn(enabled)
 		if !ok {
-			m.fail(fmt.Errorf("sim: station %d vanished message in %v", txStation, enabled))
+			m.fail(fmt.Errorf("sim: success with no pending message in %v", enabled))
 			return
 		}
-		m.recordTransmission(msg, now, now+dur)
+		m.recordTransmission(arrival, now, now+dur)
 	}
 
-	if m.resolvers[0].Done() {
-		examined := m.resolvers[0].Examined()
-		end := now + dur
-		for _, tr := range m.trackers {
-			tr.Commit(end, examined)
-		}
+	if m.resolver.Done() {
+		m.tracker.Commit(now+dur, m.resolver.Examined())
 		m.inProcess = false
+	}
+	if !m.checkLockstep() {
+		return
 	}
 	m.kernel.ScheduleAfter(dur, 0, m.slotFn)
 }
 
-// faultySlot executes one protocol slot under imperfect feedback: the
-// channel classifies the true outcome, every station perceives it through
-// the fault layer (independently under Config.Faults.PerStation), message
-// delivery is gated on the *sender's own* perception (a sender that
+// faultySlot executes one protocol slot under common-noise imperfect
+// feedback: the channel classifies the true outcome, the (shared)
+// perception passes through the fault layer once for everyone, and
+// message delivery is gated on the sender's perception (a sender that
 // misreads its successful slot aborts the transmission, which then costs
-// τ as a collision slot — see the internal/fault package doc), and the
-// engine watches for desynchronization, answering it with the network-
-// wide recovery protocol: every station aborts its process, nothing is
-// committed, and the next decision epoch re-enables the window from the
-// common pre-process state, with element-(4) deadline discards still
-// enforced on whatever the re-enabled window holds.
+// τ as a collision slot — see the internal/fault package doc).  Common
+// noise cannot desynchronize the stations, so no recovery watch is
+// needed here; per-station faults run on the dense engine.
 func (m *multiState) faultySlot(now float64) {
-	// Each station transmits by its own resolver's view.  The views agree
-	// whenever this point is reached: desynchronization is detected and
-	// recovered in the very slot it first manifests, before it can drive
-	// divergent transmission decisions.
-	totalMsgs := 0
-	txStation := -1
-	for i, s := range m.stations {
-		c := s.CountIn(m.resolvers[i].Enabled())
-		if c > 0 {
-			totalMsgs += c
-			txStation = i
-		}
-	}
+	enabled := m.resolver.Enabled()
+	totalMsgs := m.bank.CountIn(enabled)
 	truth := channel.Classify(totalMsgs)
 	slot := m.slotIdx
 	m.slotIdx++
-	if m.inj.PerStation() {
-		// Independent per-station sensing: each misread is its own fault.
-		for i := range m.stations {
-			fb, kind, faulted := m.inj.Perceive(slot, i, truth)
-			m.perceived[i] = fb
-			if faulted {
-				m.fo.RecordFault(kind)
-			}
-		}
-	} else {
-		// Common noise: the slot is corrupted once, for everyone.
-		fb, kind, faulted := m.inj.Perceive(slot, 0, truth)
-		if faulted {
-			m.fo.RecordFault(kind)
-		}
-		for i := range m.perceived {
-			m.perceived[i] = fb
-		}
-		if m.cfg.VerifyLockstep {
-			// Shared perception preserves lockstep; keep asserting it.
-			enabled := m.resolvers[0].Enabled()
-			for i, r := range m.resolvers {
-				if r.Enabled() != enabled {
-					m.fail(fmt.Errorf("sim: station %d enabled %v, station 0 enabled %v — lockstep broken",
-						i, r.Enabled(), enabled))
-					return
-				}
-			}
-		}
+	fb, kind, faulted := m.inj.Perceive(slot, 0, truth)
+	if faulted {
+		m.fo.RecordFault(kind)
 	}
 
-	delivered := truth == window.Success && m.perceived[txStation] == window.Success
+	delivered := truth == window.Success && fb == window.Success
 	dur := m.ch.AccountSlot(truth, delivered)
 	if delivered {
-		msg, ok := m.stations[txStation].PopOldestIn(m.resolvers[txStation].Enabled())
+		arrival, _, ok := m.bank.PopOldestIn(enabled)
 		if !ok {
-			m.fail(fmt.Errorf("sim: station %d vanished message in %v", txStation, m.resolvers[txStation].Enabled()))
+			m.fail(fmt.Errorf("sim: success with no pending message in %v", enabled))
 			return
 		}
-		m.recordTransmission(msg, now, now+dur)
+		m.recordTransmission(arrival, now, now+dur)
 	}
 
-	for i, r := range m.resolvers {
-		r.OnFeedback(m.perceived[i])
-	}
+	m.resolver.OnFeedback(fb)
+	m.feedShadows(fb)
 
-	if m.inj.PerStation() && m.desynced() {
-		m.fo.RecordDesync()
-		m.fo.RecordRecovery()
-		for _, r := range m.resolvers {
-			r.Abort()
-		}
-		m.inProcess = false // commit nothing: trackers stay at the common pre-process state
-	} else if m.resolvers[0].Done() {
-		if m.resolvers[0].Recovered() {
+	if m.resolver.Done() {
+		if m.resolver.Recovered() {
 			m.fo.RecordRecovery()
 		}
-		examined := m.resolvers[0].Examined()
-		end := now + dur
-		for _, tr := range m.trackers {
-			tr.Commit(end, examined)
-		}
+		m.tracker.Commit(now+dur, m.resolver.Examined())
 		m.inProcess = false
+	}
+	if !m.checkLockstep() {
+		return
 	}
 	m.kernel.ScheduleAfter(dur, 0, m.slotFn)
 }
 
-// desynced reports whether the stations' resolvers disagree after this
-// slot's feedback: mid-process every resolver must enable the same window
-// and agree on being unfinished; at process end all must agree on the
-// outcome and on the intervals they examined.  The end-state comparison
-// matters because stations perceiving different feedback can finish the
-// same slot in *silently* divergent states (one marks the window
-// examined after a perceived success while another released it after an
-// erasure) — committing either view would fork the trackers for good.
-func (m *multiState) desynced() bool {
-	r0 := m.resolvers[0]
-	for _, r := range m.resolvers[1:] {
-		if r.Done() != r0.Done() {
-			return true
-		}
-	}
-	if !r0.Done() {
-		for _, r := range m.resolvers[1:] {
-			if r.Enabled() != r0.Enabled() {
-				return true
-			}
-		}
-		return false
-	}
-	ex0 := r0.Examined()
-	for _, r := range m.resolvers[1:] {
-		if r.Success() != r0.Success() {
-			return true
-		}
-		ex := r.Examined()
-		if len(ex) != len(ex0) {
-			return true
-		}
-		for j := range ex {
-			if ex[j] != ex0[j] {
-				return true
-			}
-		}
-	}
-	return false
-}
-
 // beginProcess performs the common decision epoch: sender discard, view
-// construction and resolver recycling at every station.  It returns false
-// when there is nothing to examine yet.
+// construction and resolver recycling.  It returns false when there is
+// nothing to examine yet.
 func (m *multiState) beginProcess(now float64) bool {
-	for i, s := range m.stations {
-		if m.cfg.Policy.Discards() {
-			horizon := m.trackers[i].Horizon(now)
-			s.DiscardArrivedBeforeFunc(horizon, m.discardFn)
-		}
+	if m.cfg.Policy.Discards() {
+		m.bank.DiscardBelowFunc(m.tracker.Horizon(now), m.discardFn)
 	}
-	view := m.trackers[0].View(now, m.cfg.Tau, m.cfg.Lambda)
-	if view.TNewest-view.TPast <= 0 {
+	v := m.tracker.View(now, m.cfg.Tau, m.cfg.Lambda)
+	if v.TNewest-v.TPast <= 0 {
 		return false
 	}
-	for i := range m.stations {
-		v := m.trackers[i].View(now, m.cfg.Tau, m.cfg.Lambda)
-		if m.inj != nil {
-			// Phantom-split give-up bound: false collisions otherwise
-			// spiral to the depth bound (see globalState.resolveFaulty).
-			v.MinSplitLen = m.cfg.Tau / 1024
-		}
-		if err := m.resolvers[i].Reset(m.policies[i], v); err != nil {
-			m.fail(fmt.Errorf("sim: station %d resolver: %w", i, err))
+	if m.inj != nil {
+		// Phantom-split give-up bound: false collisions otherwise
+		// spiral to the depth bound (see globalState.resolveFaulty).
+		v.MinSplitLen = m.cfg.Tau / 1024
+	}
+	if err := m.resolver.Reset(m.policy, v); err != nil {
+		m.fail(fmt.Errorf("sim: resolver: %w", err))
+		return false
+	}
+	for i, r := range m.shadows {
+		if err := r.Reset(m.shadowPols[i], v); err != nil {
+			m.fail(fmt.Errorf("sim: shadow resolver %d: %w", i, err))
 			return false
 		}
 	}
@@ -409,14 +454,14 @@ func (m *multiState) measured(arrival float64) bool {
 	return arrival >= m.cfg.Warmup && arrival < m.cfg.EndTime
 }
 
-func (m *multiState) recordTransmission(msg station.Message, successStart, txEnd float64) {
+func (m *multiState) recordTransmission(arrival, successStart, txEnd float64) {
 	m.rep.Transmissions++
-	trueWait := successStart - msg.Arrival
+	trueWait := successStart - arrival
 	m.col.RecordTransmission(trueWait, trueWait <= m.cfg.K)
-	if m.measured(msg.Arrival) {
+	if m.measured(arrival) {
 		m.rep.TrueWait.Add(trueWait)
 		m.rep.WaitHist.Add(trueWait)
-		schedStart := math.Max(m.lastTxEnd, msg.Arrival)
+		schedStart := math.Max(m.lastTxEnd, arrival)
 		m.rep.SchedulingSlots.Add((successStart - schedStart) / m.cfg.Tau)
 		if trueWait > m.cfg.K {
 			m.rep.LostLate++
@@ -429,25 +474,18 @@ func (m *multiState) recordTransmission(msg station.Message, successStart, txEnd
 
 func (m *multiState) finish() {
 	end := m.cfg.EndTime
-	all := window.Window{Start: 0, End: end + 1}
-	for _, s := range m.stations {
-		for {
-			msg, ok := s.PopOldestIn(all)
-			if !ok {
-				break
-			}
-			m.resident++
-			if !m.measured(msg.Arrival) {
-				continue
-			}
-			if end-msg.Arrival > m.cfg.K {
-				m.rep.LostPending++
-			} else {
-				m.rep.Censored++
-			}
-			m.rep.EndBacklog++
+	m.bank.ForEach(func(arrival float64, _ int32) {
+		m.resident++
+		if !m.measured(arrival) {
+			return
 		}
-	}
+		if end-arrival > m.cfg.K {
+			m.rep.LostPending++
+		} else {
+			m.rep.Censored++
+		}
+		m.rep.EndBacklog++
+	})
 	m.col.RecordEndPending(m.rep.LostPending, m.rep.Censored)
 	st := m.ch.Stats()
 	m.rep.IdleSlots = st.IdleSlots

@@ -1,0 +1,555 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"windowctl/internal/channel"
+	"windowctl/internal/des"
+	"windowctl/internal/fault"
+	"windowctl/internal/metrics"
+	"windowctl/internal/rngutil"
+	"windowctl/internal/station"
+	"windowctl/internal/stats"
+	"windowctl/internal/window"
+)
+
+// denseState is the one-object-per-station engine: every station runs its
+// own Tracker and Resolver fed only by channel feedback, exactly as the
+// protocol prescribes.  Its per-slot cost is O(M), so it serves the one
+// case the shared-state fast path (multiState) cannot represent —
+// per-station feedback faults, where stations genuinely perceive
+// different channels and their state machines diverge — and acts as the
+// reference implementation the fast path is verified against
+// bit-for-bit.
+//
+// A station holding two or more pending messages inside the enabled
+// window jams the slot (it cannot transmit both), so channel feedback
+// reflects the network-wide *message* count in the window, matching the
+// paper's model in which message arrivals, not stations, are the
+// windowed entities.
+//
+// The O(M) per-station loops — window membership counting, feedback
+// fan-out, resolver recycling and tracker commits — shard across
+// MultiConfig.Workers via the pool, with order-independent merges (sum,
+// max index, first error), so reports are bit-identical at any width.
+type denseState struct {
+	cfg       MultiConfig
+	kernel    *des.Simulator
+	ch        *channel.Channel
+	stations  []*station.Station
+	trackers  []*window.Tracker
+	resolvers []*window.Resolver // persistent, recycled via Reset each epoch
+	inProcess bool               // a windowing process is underway
+	policies  []window.Policy    // per-station replica (common randomness)
+	col       metrics.Collector
+	inj       *fault.Injector // nil unless fault injection is enabled
+	fo        metrics.FaultObserver
+	slotIdx   int64 // probe-slot counter indexing the fault schedule
+	perceived []window.Feedback
+	rep       Report
+	lastTxEnd float64
+	resident  int64 // messages still queued anywhere when the run ended
+	runErr    error
+	discardFn func(station.Message)
+	slotFn    func() // m.slot bound once; a fresh method value per Schedule would allocate every slot
+
+	pool       *pool
+	lockEvery  int64
+	lockIdx    []int // sampled station indices for lockstep verification
+	probeSlots int64
+
+	// Shard scratch and parameters for the pooled loops.  The loop
+	// closures are bound once and read these fields, so a slot does not
+	// allocate a closure per fan-out.
+	wTotal      []int
+	wTx         []int
+	wErr        []error
+	curEnabled  window.Window
+	curFb       window.Feedback
+	curNow      float64
+	curEnd      float64
+	curExamined []window.Window
+	countFn     func(w, lo, hi int) // CountIn over the common enabled window
+	countOwnFn  func(w, lo, hi int) // CountIn over each resolver's own window
+	feedFn      func(w, lo, hi int) // OnFeedback(curFb) fan-out
+	feedOwnFn   func(w, lo, hi int) // OnFeedback(perceived[i]) fan-out
+	resetFn     func(w, lo, hi int) // resolver Reset at curNow
+	commitFn    func(w, lo, hi int) // tracker Commit(curEnd, curExamined)
+}
+
+// runMultiDense simulates with full per-station state.  cfg is already
+// validated.
+func runMultiDense(cfg MultiConfig) (Report, error) {
+	m := &denseState{
+		cfg:    cfg,
+		kernel: des.NewWithQueue(cfg.EventQueue, cfg.Tau),
+		ch:     channel.New(cfg.Tau, cfg.M*cfg.Tau),
+		col:    metrics.OrNop(cfg.Collector),
+		fo:     metrics.FaultObserverOrNop(cfg.Collector),
+		pool:   newPool(cfg.workerCount()),
+	}
+	defer m.pool.close()
+	if cfg.Faults.Enabled() {
+		inj, err := fault.NewInjector(cfg.Faults)
+		if err != nil {
+			return Report{}, err
+		}
+		m.inj = inj
+		m.perceived = make([]window.Feedback, cfg.Stations)
+	}
+	// Slots are recorded by the channel, arrivals and discards by the
+	// stations; the collector sees the same event stream the global-view
+	// simulator reports directly.
+	m.ch.Observe(cfg.Collector)
+	m.rep.WaitHist = stats.NewHistogram(cfg.Tau, int(cfg.K/cfg.Tau)+64)
+	root := rngutil.New(cfg.Seed)
+	var nextID int64
+	perStation := cfg.Lambda / float64(cfg.Stations)
+	for i := 0; i < cfg.Stations; i++ {
+		var proc station.ArrivalProcess = station.Poisson{Rate: perStation}
+		if cfg.Arrivals != nil {
+			proc = cfg.Arrivals(i)
+			if proc == nil {
+				return Report{}, fmt.Errorf("sim: Arrivals returned nil for station %d", i)
+			}
+		}
+		st := station.New(i, proc, root.Spawn(), &nextID)
+		st.Observe(cfg.Collector)
+		m.stations = append(m.stations, st)
+		m.trackers = append(m.trackers, window.NewTracker(0, cfg.K, cfg.Policy.Discards()))
+		// A policy carrying common randomness is replicated per station:
+		// each replica makes the same draw sequence, as real stations
+		// seeded with one agreed value would.
+		if f, ok := cfg.Policy.(window.ForkablePolicy); ok {
+			m.policies = append(m.policies, f.Fork())
+		} else {
+			m.policies = append(m.policies, cfg.Policy)
+		}
+	}
+	m.resolvers = make([]*window.Resolver, cfg.Stations)
+	for i := range m.resolvers {
+		m.resolvers[i] = &window.Resolver{}
+		if cfg.Faults.Enabled() {
+			m.resolvers[i].SetFaultTolerant(true)
+		}
+	}
+	// Only one of the (identical, lockstep) resolvers observes, or every
+	// split would be counted once per station.
+	m.resolvers[0].Observe(cfg.Collector)
+	m.discardFn = func(d station.Message) {
+		if m.measured(d.Arrival) {
+			m.rep.LostSender++
+		}
+	}
+	m.slotFn = m.slot
+	m.lockEvery, m.lockIdx = lockstepPlan(cfg)
+	m.bindShardFns()
+
+	checkpoint, check := conservationStart(cfg.Collector)
+	m.kernel.Schedule(0, 0, m.slotFn)
+	m.kernel.RunUntil(cfg.EndTime)
+	if m.runErr != nil {
+		return m.rep, m.runErr
+	}
+	m.finish()
+	if check != nil {
+		if err := check.CheckConservation(checkpoint, m.resident, m.ch.Stats().TotalTime()); err != nil {
+			return m.rep, fmt.Errorf("sim: %w", err)
+		}
+	}
+	return m.rep, nil
+}
+
+// bindShardFns builds the pooled loop bodies once.  Each writes only its
+// own stations' state and its own worker scratch slot.
+func (m *denseState) bindShardFns() {
+	w := m.pool.workers
+	m.wTotal = make([]int, w)
+	m.wTx = make([]int, w)
+	m.wErr = make([]error, w)
+	m.countFn = func(w, lo, hi int) {
+		total, tx := 0, -1
+		for i := lo; i < hi; i++ {
+			if c := m.stations[i].CountIn(m.curEnabled); c > 0 {
+				total += c
+				tx = i
+			}
+		}
+		m.wTotal[w], m.wTx[w] = total, tx
+	}
+	m.countOwnFn = func(w, lo, hi int) {
+		total, tx := 0, -1
+		for i := lo; i < hi; i++ {
+			if c := m.stations[i].CountIn(m.resolvers[i].Enabled()); c > 0 {
+				total += c
+				tx = i
+			}
+		}
+		m.wTotal[w], m.wTx[w] = total, tx
+	}
+	m.feedFn = func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m.resolvers[i].OnFeedback(m.curFb)
+		}
+	}
+	m.feedOwnFn = func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m.resolvers[i].OnFeedback(m.perceived[i])
+		}
+	}
+	m.resetFn = func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := m.trackers[i].View(m.curNow, m.cfg.Tau, m.cfg.Lambda)
+			if m.inj != nil {
+				// Phantom-split give-up bound: false collisions otherwise
+				// spiral to the depth bound (see globalState.resolveFaulty).
+				v.MinSplitLen = m.cfg.Tau / 1024
+			}
+			if err := m.resolvers[i].Reset(m.policies[i], v); err != nil {
+				m.wErr[w] = fmt.Errorf("sim: station %d resolver: %w", i, err)
+				return
+			}
+		}
+	}
+	m.commitFn = func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m.trackers[i].Commit(m.curEnd, m.curExamined)
+		}
+	}
+}
+
+// countAll merges the pooled membership count: the network-wide message
+// total and the highest-index station holding any (the unique sender
+// whenever the total is 1).
+func (m *denseState) countAll(fn func(w, lo, hi int)) (total, txStation int) {
+	for w := range m.wTotal {
+		m.wTotal[w], m.wTx[w] = 0, -1
+	}
+	m.pool.run(len(m.stations), fn)
+	txStation = -1
+	for w := range m.wTotal {
+		total += m.wTotal[w]
+		if m.wTx[w] >= 0 {
+			txStation = m.wTx[w]
+		}
+	}
+	return total, txStation
+}
+
+func (m *denseState) fail(err error) {
+	m.runErr = err
+	m.kernel.Stop()
+}
+
+// verifySampledLockstep asserts that the sampled stations' resolvers
+// agree with station 0 on the enabled window.  It runs every lockEvery-th
+// probe slot rather than every slot, and over the sample rather than all
+// M stations — the consistency it guards is global (all stations process
+// identical feedback), so a divergence persists until a sampled
+// comparison sees it.
+func (m *denseState) verifySampledLockstep() bool {
+	if !m.cfg.VerifyLockstep || m.probeSlots%m.lockEvery != 0 {
+		return true
+	}
+	enabled := m.resolvers[0].Enabled()
+	for _, i := range m.lockIdx {
+		if r := m.resolvers[i]; r.Enabled() != enabled {
+			m.fail(fmt.Errorf("sim: station %d enabled %v, station 0 enabled %v — lockstep broken",
+				i, r.Enabled(), enabled))
+			return false
+		}
+	}
+	return true
+}
+
+// corruptSampledResolver implements the test-only desync injection hook:
+// it feeds the last sampled station's resolver a flipped feedback value.
+func corruptFeedback(fb window.Feedback) window.Feedback {
+	if fb == window.Collision {
+		return window.Idle
+	}
+	return window.Collision
+}
+
+// slot executes one protocol slot: decision epoch if needed, one probe,
+// feedback distribution, and scheduling of the next slot.
+func (m *denseState) slot() {
+	now := m.kernel.Now()
+	if now >= m.cfg.EndTime {
+		return
+	}
+	for _, s := range m.stations {
+		s.GenerateUntil(now)
+	}
+	backlog := 0
+	for _, s := range m.stations {
+		backlog += s.QueueLen()
+	}
+	if backlog > m.rep.MaxBacklog {
+		m.rep.MaxBacklog = backlog
+	}
+	maxBacklog := m.cfg.MaxBacklog
+	if maxBacklog <= 0 {
+		maxBacklog = 1 << 20
+	}
+	if backlog > maxBacklog {
+		m.fail(fmt.Errorf("sim: backlog exceeded %d at t=%v", maxBacklog, now))
+		return
+	}
+
+	if !m.inProcess {
+		// Decision epoch at every station.
+		if !m.beginProcess(now) {
+			// Nothing unexamined yet: idle for one slot.
+			m.kernel.ScheduleAfter(m.cfg.Tau, 0, m.slotFn)
+			return
+		}
+	}
+	m.probeSlots++
+
+	if m.inj != nil {
+		m.faultySlot(now)
+		return
+	}
+
+	if !m.verifySampledLockstep() {
+		return
+	}
+
+	// Stations transmit; multiple messages at one station jam the slot.
+	m.curEnabled = m.resolvers[0].Enabled()
+	totalMsgs, txStation := m.countAll(m.countFn)
+	fb, dur := m.ch.ResolveSlot(totalMsgs)
+
+	if n := len(m.lockIdx); n > 0 && m.cfg.lockstepFaultAt > 0 && m.probeSlots >= m.cfg.lockstepFaultAt {
+		for i, r := range m.resolvers {
+			if i == m.lockIdx[n-1] {
+				r.OnFeedback(corruptFeedback(fb))
+			} else {
+				r.OnFeedback(fb)
+			}
+		}
+	} else {
+		m.curFb = fb
+		m.pool.run(len(m.resolvers), m.feedFn)
+	}
+
+	if fb == window.Success {
+		msg, ok := m.stations[txStation].PopOldestIn(m.curEnabled)
+		if !ok {
+			m.fail(fmt.Errorf("sim: station %d vanished message in %v", txStation, m.curEnabled))
+			return
+		}
+		m.recordTransmission(msg, now, now+dur)
+	}
+
+	if m.resolvers[0].Done() {
+		m.curEnd = now + dur
+		m.curExamined = m.resolvers[0].Examined()
+		m.pool.run(len(m.trackers), m.commitFn)
+		m.inProcess = false
+	}
+	m.kernel.ScheduleAfter(dur, 0, m.slotFn)
+}
+
+// faultySlot executes one protocol slot under imperfect feedback: the
+// channel classifies the true outcome, every station perceives it through
+// the fault layer (independently under Config.Faults.PerStation), message
+// delivery is gated on the *sender's own* perception (a sender that
+// misreads its successful slot aborts the transmission, which then costs
+// τ as a collision slot — see the internal/fault package doc), and the
+// engine watches for desynchronization, answering it with the network-
+// wide recovery protocol: every station aborts its process, nothing is
+// committed, and the next decision epoch re-enables the window from the
+// common pre-process state, with element-(4) deadline discards still
+// enforced on whatever the re-enabled window holds.
+func (m *denseState) faultySlot(now float64) {
+	// Each station transmits by its own resolver's view.  The views agree
+	// whenever this point is reached: desynchronization is detected and
+	// recovered in the very slot it first manifests, before it can drive
+	// divergent transmission decisions.
+	totalMsgs, txStation := m.countAll(m.countOwnFn)
+	truth := channel.Classify(totalMsgs)
+	slot := m.slotIdx
+	m.slotIdx++
+	if m.inj.PerStation() {
+		// Independent per-station sensing: each misread is its own fault.
+		for i := range m.stations {
+			fb, kind, faulted := m.inj.Perceive(slot, i, truth)
+			m.perceived[i] = fb
+			if faulted {
+				m.fo.RecordFault(kind)
+			}
+		}
+	} else {
+		// Common noise: the slot is corrupted once, for everyone.
+		fb, kind, faulted := m.inj.Perceive(slot, 0, truth)
+		if faulted {
+			m.fo.RecordFault(kind)
+		}
+		for i := range m.perceived {
+			m.perceived[i] = fb
+		}
+		// Shared perception preserves lockstep; keep asserting it.
+		if !m.verifySampledLockstep() {
+			return
+		}
+	}
+
+	delivered := truth == window.Success && m.perceived[txStation] == window.Success
+	dur := m.ch.AccountSlot(truth, delivered)
+	if delivered {
+		msg, ok := m.stations[txStation].PopOldestIn(m.resolvers[txStation].Enabled())
+		if !ok {
+			m.fail(fmt.Errorf("sim: station %d vanished message in %v", txStation, m.resolvers[txStation].Enabled()))
+			return
+		}
+		m.recordTransmission(msg, now, now+dur)
+	}
+
+	m.pool.run(len(m.resolvers), m.feedOwnFn)
+
+	if m.inj.PerStation() && m.desynced() {
+		m.fo.RecordDesync()
+		m.fo.RecordRecovery()
+		for _, r := range m.resolvers {
+			r.Abort()
+		}
+		m.inProcess = false // commit nothing: trackers stay at the common pre-process state
+	} else if m.resolvers[0].Done() {
+		if m.resolvers[0].Recovered() {
+			m.fo.RecordRecovery()
+		}
+		m.curEnd = now + dur
+		m.curExamined = m.resolvers[0].Examined()
+		m.pool.run(len(m.trackers), m.commitFn)
+		m.inProcess = false
+	}
+	m.kernel.ScheduleAfter(dur, 0, m.slotFn)
+}
+
+// desynced reports whether the stations' resolvers disagree after this
+// slot's feedback: mid-process every resolver must enable the same window
+// and agree on being unfinished; at process end all must agree on the
+// outcome and on the intervals they examined.  The end-state comparison
+// matters because stations perceiving different feedback can finish the
+// same slot in *silently* divergent states (one marks the window
+// examined after a perceived success while another released it after an
+// erasure) — committing either view would fork the trackers for good.
+func (m *denseState) desynced() bool {
+	r0 := m.resolvers[0]
+	for _, r := range m.resolvers[1:] {
+		if r.Done() != r0.Done() {
+			return true
+		}
+	}
+	if !r0.Done() {
+		for _, r := range m.resolvers[1:] {
+			if r.Enabled() != r0.Enabled() {
+				return true
+			}
+		}
+		return false
+	}
+	ex0 := r0.Examined()
+	for _, r := range m.resolvers[1:] {
+		if r.Success() != r0.Success() {
+			return true
+		}
+		ex := r.Examined()
+		if len(ex) != len(ex0) {
+			return true
+		}
+		for j := range ex {
+			if ex[j] != ex0[j] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// beginProcess performs the common decision epoch: sender discard, view
+// construction and resolver recycling at every station.  It returns false
+// when there is nothing to examine yet.
+func (m *denseState) beginProcess(now float64) bool {
+	for i, s := range m.stations {
+		if m.cfg.Policy.Discards() {
+			horizon := m.trackers[i].Horizon(now)
+			s.DiscardArrivedBeforeFunc(horizon, m.discardFn)
+		}
+	}
+	view := m.trackers[0].View(now, m.cfg.Tau, m.cfg.Lambda)
+	if view.TNewest-view.TPast <= 0 {
+		return false
+	}
+	for w := range m.wErr {
+		m.wErr[w] = nil
+	}
+	m.curNow = now
+	m.pool.run(len(m.stations), m.resetFn)
+	for _, err := range m.wErr {
+		if err != nil {
+			m.fail(err)
+			return false
+		}
+	}
+	m.inProcess = true
+	return true
+}
+
+func (m *denseState) measured(arrival float64) bool {
+	return arrival >= m.cfg.Warmup && arrival < m.cfg.EndTime
+}
+
+func (m *denseState) recordTransmission(msg station.Message, successStart, txEnd float64) {
+	m.rep.Transmissions++
+	trueWait := successStart - msg.Arrival
+	m.col.RecordTransmission(trueWait, trueWait <= m.cfg.K)
+	if m.measured(msg.Arrival) {
+		m.rep.TrueWait.Add(trueWait)
+		m.rep.WaitHist.Add(trueWait)
+		schedStart := math.Max(m.lastTxEnd, msg.Arrival)
+		m.rep.SchedulingSlots.Add((successStart - schedStart) / m.cfg.Tau)
+		if trueWait > m.cfg.K {
+			m.rep.LostLate++
+		} else {
+			m.rep.AcceptedInTime++
+		}
+	}
+	m.lastTxEnd = txEnd
+}
+
+func (m *denseState) finish() {
+	end := m.cfg.EndTime
+	all := window.Window{Start: 0, End: end + 1}
+	for _, s := range m.stations {
+		for {
+			msg, ok := s.PopOldestIn(all)
+			if !ok {
+				break
+			}
+			m.resident++
+			if !m.measured(msg.Arrival) {
+				continue
+			}
+			if end-msg.Arrival > m.cfg.K {
+				m.rep.LostPending++
+			} else {
+				m.rep.Censored++
+			}
+			m.rep.EndBacklog++
+		}
+	}
+	m.col.RecordEndPending(m.rep.LostPending, m.rep.Censored)
+	st := m.ch.Stats()
+	m.rep.IdleSlots = st.IdleSlots
+	m.rep.CollisionSlots = st.CollisionSlots
+	m.rep.Utilization = st.Utilization()
+	// Every measured message lands in exactly one outcome bucket, so the
+	// offered count is their sum (the report tests verify the identity
+	// Offered = Decided + Censored on the global simulator, whose offered
+	// count is taken at arrival time instead).
+	m.rep.Offered = m.rep.Decided() + m.rep.Censored
+}

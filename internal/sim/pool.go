@@ -1,0 +1,75 @@
+package sim
+
+import "sync"
+
+// pool fans contiguous index shards across persistent worker goroutines.
+// The dense multi-station engine uses it for its O(M) per-slot loops
+// (window membership counting, feedback fan-out, tracker commits); the
+// goroutines outlive individual run calls so a slot pays two channel
+// hops per worker, not a goroutine spawn.
+//
+// Determinism contract: run's fn must touch only index-disjoint or
+// worker-private state, and callers merge per-worker results afterward in
+// shard order.  Shard boundaries depend only on (n, workers), so every
+// result — and therefore every simulation report — is bit-identical at
+// any worker count.
+type pool struct {
+	workers int
+	fn      func(w, lo, hi int)
+	req     []chan [2]int
+	wg      sync.WaitGroup
+}
+
+// newPool returns a pool of the given width; <= 1 runs everything inline
+// with no goroutines.  Close must be called on wider pools when done.
+func newPool(workers int) *pool {
+	p := &pool{workers: workers}
+	if workers <= 1 {
+		p.workers = 1
+		return p
+	}
+	p.req = make([]chan [2]int, workers)
+	for w := range p.req {
+		ch := make(chan [2]int, 1)
+		p.req[w] = ch
+		go func(w int, ch chan [2]int) {
+			for span := range ch {
+				p.fn(w, span[0], span[1])
+				p.wg.Done()
+			}
+		}(w, ch)
+	}
+	return p
+}
+
+// run invokes fn over [0, n) split into at most workers contiguous
+// shards and returns when all have completed.  Worker w always receives
+// the w-th shard, so worker-indexed scratch slots line up with shard
+// order.  Tiny ranges run inline.
+func (p *pool) run(n int, fn func(w, lo, hi int)) {
+	if p.workers == 1 || n < 2*p.workers {
+		fn(0, 0, n)
+		return
+	}
+	p.fn = fn
+	chunk := (n + p.workers - 1) / p.workers
+	used := (n + chunk - 1) / chunk
+	p.wg.Add(used)
+	for w := 0; w < used; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		p.req[w] <- [2]int{lo, hi}
+	}
+	p.wg.Wait()
+	p.fn = nil
+}
+
+// close releases the worker goroutines (no-op for inline pools).
+func (p *pool) close() {
+	for _, ch := range p.req {
+		close(ch)
+	}
+}

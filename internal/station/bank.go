@@ -1,0 +1,231 @@
+package station
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"windowctl/internal/metrics"
+	"windowctl/internal/pendq"
+	"windowctl/internal/rngutil"
+	"windowctl/internal/window"
+)
+
+// Bank is a whole station population in struct-of-arrays form: flat,
+// index-parallel slices of per-station arrival state plus one shared
+// pending multiset, in place of a slice of Station objects.
+//
+// The multi-station engine's fast path exploits the protocol's symmetry:
+// under common channel feedback every station's resolver and tracker pass
+// through identical states, so the only thing distinguishing station i
+// from station j is its private arrival stream.  The Bank therefore keeps
+// exactly that — one xoshiro stream, one next-arrival time and (when
+// sources are heterogeneous) one ArrivalProcess per station — and merges
+// the M streams into a single global arrival order with an index min-heap
+// keyed by next-arrival time.  Materialized arrivals land in one shared
+// pendq.Queue keyed by arrival time, whose Fenwick machinery answers the
+// per-slot window queries in O(log backlog) independent of M.
+//
+// Per-station memory is 56 bytes (stream 48, nextAt 8) plus 4 heap bytes,
+// so a million stations fit in ~64 MB with zero per-station allocations.
+//
+// Stream identity is positional: station i draws from
+// rngutil.Seeded(rngutil.ChildSeed(seed, i+1)), the exact stream the i-th
+// Spawn of a root New(seed) yields.  Because child identity is a pure
+// function of (seed, i), initialization shards across any number of
+// workers bit-identically; it is also how the Bank reproduces the legacy
+// one-object-per-station engine draw for draw.
+type Bank struct {
+	n       int
+	rate    float64          // uniform Poisson rate, used when procs is nil
+	procs   []ArrivalProcess // per-station sources; nil for uniform Poisson
+	streams []rngutil.Stream
+	nextAt  []float64          // next not-yet-materialized arrival per station
+	heap    []int32            // station indices ordered by (nextAt, index)
+	pending pendq.Queue[int32] // origin station per pending message, keyed by arrival
+	created int64
+	col     metrics.Collector
+
+	// discardFn/discardAdapter relay pendq discard callbacks without a
+	// per-call closure: the adapter is bound once, the target swaps.
+	discardFn      func(arrival float64)
+	discardAdapter func(key float64, item int32)
+}
+
+// NewBank creates the population.  Station i's arrivals come from
+// arrivals(i) when the factory is non-nil (it is called sequentially in
+// index order, so stateful factories are safe) and from Poisson(rate)
+// otherwise.  workers shards the stream seeding and first-gap draws;
+// any value produces identical state (<= 1 runs inline).
+func NewBank(n int, seed uint64, rate float64, arrivals func(int) ArrivalProcess, workers int) (*Bank, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("station: need >= 1 station, got %d", n)
+	}
+	if n > math.MaxInt32 {
+		return nil, fmt.Errorf("station: %d stations exceed the int32 index space", n)
+	}
+	b := &Bank{
+		n:       n,
+		rate:    rate,
+		streams: make([]rngutil.Stream, n),
+		nextAt:  make([]float64, n),
+		heap:    make([]int32, n),
+	}
+	if arrivals != nil {
+		b.procs = make([]ArrivalProcess, n)
+		for i := range b.procs {
+			p := arrivals(i)
+			if p == nil {
+				return nil, fmt.Errorf("station: arrival factory returned nil for station %d", i)
+			}
+			b.procs[i] = p
+		}
+	}
+	if workers > n {
+		workers = n
+	}
+	init := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			b.streams[i] = rngutil.Seeded(rngutil.ChildSeed(seed, uint64(i)+1))
+			b.nextAt[i] = b.gap(i)
+			b.heap[i] = int32(i)
+		}
+	}
+	if workers <= 1 {
+		init(0, n)
+	} else {
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				init(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		b.siftDown(i)
+	}
+	b.discardAdapter = func(key float64, _ int32) { b.discardFn(key) }
+	return b, nil
+}
+
+// gap draws station i's next inter-arrival gap.
+func (b *Bank) gap(i int) float64 {
+	var g float64
+	if b.procs == nil {
+		g = b.streams[i].Exp(b.rate)
+	} else {
+		g = b.procs[i].NextGap(&b.streams[i])
+	}
+	if g <= 0 {
+		panic("station: arrival process returned non-positive gap")
+	}
+	return g
+}
+
+func (b *Bank) less(x, y int32) bool {
+	ax, ay := b.nextAt[x], b.nextAt[y]
+	return ax < ay || (ax == ay && x < y)
+}
+
+func (b *Bank) siftDown(i int) {
+	h := b.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && b.less(h[r], h[l]) {
+			m = r
+		}
+		if !b.less(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// Stations returns the population size.
+func (b *Bank) Stations() int { return b.n }
+
+// Observe attaches a metrics collector for arrival and discard events.
+func (b *Bank) Observe(c metrics.Collector) { b.col = c }
+
+// GenerateUntil materializes every arrival across the population with
+// time <= t into the shared pending set, in global arrival order, and
+// returns how many were added.  Each materialized arrival costs one
+// O(log M) heap repair; a peek that finds nothing due costs O(1).
+func (b *Bank) GenerateUntil(t float64) int {
+	added := 0
+	for {
+		s := b.heap[0]
+		at := b.nextAt[s]
+		if at > t {
+			break
+		}
+		b.pending.Push(at, s)
+		b.created++
+		added++
+		b.nextAt[s] = at + b.gap(int(s))
+		b.siftDown(0)
+	}
+	if added > 0 && b.col != nil {
+		b.col.RecordArrivals(int64(added))
+	}
+	return added
+}
+
+// NextArrivalAt returns the time of the population's next
+// not-yet-materialized arrival.
+func (b *Bank) NextArrivalAt() float64 { return b.nextAt[b.heap[0]] }
+
+// Len returns the number of pending messages across all stations.
+func (b *Bank) Len() int { return b.pending.Len() }
+
+// Created returns the total number of messages generated so far.
+func (b *Bank) Created() int64 { return b.created }
+
+// CountIn returns how many pending messages arrived inside w.
+func (b *Bank) CountIn(w window.Window) int {
+	return b.pending.CountIn(w.Start, w.End)
+}
+
+// PopOldestIn removes the oldest pending message inside w, returning its
+// arrival time and origin station.
+func (b *Bank) PopOldestIn(w window.Window) (arrival float64, origin int32, ok bool) {
+	return b.pending.PopFirstIn(w.Start, w.End)
+}
+
+// DiscardBelowFunc removes every pending message with arrival time
+// strictly below the horizon (policy element (4)), calling fn (if
+// non-nil) on each arrival time in order, and returns how many were
+// dropped.
+func (b *Bank) DiscardBelowFunc(horizon float64, fn func(arrival float64)) int {
+	var n int
+	if fn == nil {
+		n = b.pending.DiscardBelow(horizon, nil)
+	} else {
+		b.discardFn = fn
+		n = b.pending.DiscardBelow(horizon, b.discardAdapter)
+		b.discardFn = nil
+	}
+	if n > 0 && b.col != nil {
+		b.col.RecordDiscards(int64(n))
+	}
+	return n
+}
+
+// ForEach calls fn on every pending message in arrival order.
+func (b *Bank) ForEach(fn func(arrival float64, origin int32)) {
+	b.pending.ForEach(fn)
+}

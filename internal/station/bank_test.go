@@ -1,0 +1,179 @@
+package station
+
+// Bank-vs-Station oracle: the struct-of-arrays population must generate
+// the exact arrival sequence that one Station object per index would,
+// stream for stream and draw for draw, because the multi-station
+// engine's bit-equality with its per-station reference rests on it.
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"windowctl/internal/rngutil"
+	"windowctl/internal/window"
+)
+
+type refArrival struct {
+	at     float64
+	origin int
+}
+
+// referenceArrivals drains one Station object per index — seeded the
+// way the legacy engine did, root.Spawn() in index order — and returns
+// every arrival with time <= t in global (time, station) order.
+func referenceArrivals(n int, seed uint64, rate float64, arrivals func(int) ArrivalProcess, t float64) []refArrival {
+	root := rngutil.New(seed)
+	var nextID int64
+	var all []refArrival
+	for i := 0; i < n; i++ {
+		proc := ArrivalProcess(Poisson{Rate: rate})
+		if arrivals != nil {
+			proc = arrivals(i)
+		}
+		s := New(i, proc, root.Spawn(), &nextID)
+		s.GenerateUntil(t)
+		for {
+			m, ok := s.PopOldestIn(window.Window{Start: math.Inf(-1), End: math.Inf(1)})
+			if !ok {
+				break
+			}
+			all = append(all, refArrival{at: m.Arrival, origin: m.Origin})
+		}
+	}
+	sort.Slice(all, func(x, y int) bool {
+		if all[x].at != all[y].at {
+			return all[x].at < all[y].at
+		}
+		return all[x].origin < all[y].origin
+	})
+	return all
+}
+
+func bankArrivals(t *testing.T, n int, seed uint64, rate float64, arrivals func(int) ArrivalProcess, workers int, until float64) []refArrival {
+	t.Helper()
+	b, err := NewBank(n, seed, rate, arrivals, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generate in bursts so the due/not-due boundary logic is exercised,
+	// not just one final sweep.
+	for at := until / 8; at < until; at += until / 8 {
+		b.GenerateUntil(at)
+	}
+	b.GenerateUntil(until)
+	var all []refArrival
+	b.ForEach(func(at float64, origin int32) {
+		all = append(all, refArrival{at: at, origin: int(origin)})
+	})
+	if b.Len() != len(all) || int(b.Created()) != len(all) {
+		t.Fatalf("bookkeeping mismatch: Len=%d Created=%d ForEach=%d", b.Len(), b.Created(), len(all))
+	}
+	return all
+}
+
+func sameArrivals(t *testing.T, got, want []refArrival) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("arrival count mismatch: got %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("arrival %d mismatch: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBankMatchesStationsPoisson(t *testing.T) {
+	const n, seed, until = 25, 41, 4000.0
+	want := referenceArrivals(n, seed, 0.02, nil, until)
+	if len(want) == 0 {
+		t.Fatal("reference generated no arrivals; the oracle is vacuous")
+	}
+	sameArrivals(t, bankArrivals(t, n, seed, 0.02, nil, 1, until), want)
+}
+
+func TestBankMatchesStationsOnOff(t *testing.T) {
+	const n, seed, until = 8, 43, 8000.0
+	factory := func(int) ArrivalProcess {
+		return &OnOff{OnRate: 0.05, MeanOn: 100, MeanOff: 300}
+	}
+	want := referenceArrivals(n, seed, 0, factory, until)
+	if len(want) == 0 {
+		t.Fatal("reference generated no arrivals; the oracle is vacuous")
+	}
+	sameArrivals(t, bankArrivals(t, n, seed, 0, factory, 1, until), want)
+}
+
+// TestBankWorkersBitIdentical pins the sharded initialization: child
+// stream identity is positional, so any worker count must build the
+// same population state and hence the same arrival sequence.
+func TestBankWorkersBitIdentical(t *testing.T) {
+	const n, seed, until = 100, 47, 2000.0
+	want := bankArrivals(t, n, seed, 0.01, nil, 1, until)
+	for _, workers := range []int{2, 7, 64, 200} {
+		sameArrivals(t, bankArrivals(t, n, seed, 0.01, nil, workers, until), want)
+	}
+}
+
+// TestBankWindowOps exercises the shared multiset against a sorted-slice
+// model: counting, oldest-in-window extraction and horizon discards.
+func TestBankWindowOps(t *testing.T) {
+	const n, seed, until = 10, 53, 5000.0
+	b, err := NewBank(n, seed, 0.02, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.GenerateUntil(until)
+	var model []refArrival
+	b.ForEach(func(at float64, origin int32) {
+		model = append(model, refArrival{at: at, origin: int(origin)})
+	})
+	if len(model) < 20 {
+		t.Fatalf("want a rich backlog, got %d arrivals", len(model))
+	}
+
+	w := window.Window{Start: model[3].at, End: model[len(model)/2].at}
+	wantIn := 0
+	for _, m := range model {
+		if m.at >= w.Start && m.at < w.End {
+			wantIn++
+		}
+	}
+	if got := b.CountIn(w); got != wantIn {
+		t.Fatalf("CountIn(%v) = %d, want %d", w, got, wantIn)
+	}
+
+	at, origin, ok := b.PopOldestIn(w)
+	if !ok || at != model[3].at || int(origin) != model[3].origin {
+		t.Fatalf("PopOldestIn(%v) = (%v, %d, %v), want (%v, %d, true)",
+			w, at, origin, ok, model[3].at, model[3].origin)
+	}
+	if got := b.CountIn(w); got != wantIn-1 {
+		t.Fatalf("CountIn after pop = %d, want %d", got, wantIn-1)
+	}
+
+	horizon := model[6].at
+	wantDrop, seen := 0, 0
+	for i, m := range model {
+		if i != 3 && m.at < horizon {
+			wantDrop++
+		}
+	}
+	dropped := b.DiscardBelowFunc(horizon, func(float64) { seen++ })
+	if dropped != wantDrop || seen != wantDrop {
+		t.Fatalf("DiscardBelowFunc dropped %d (callback %d), want %d", dropped, seen, wantDrop)
+	}
+	if b.Len() != len(model)-1-wantDrop {
+		t.Fatalf("Len after discard = %d, want %d", b.Len(), len(model)-1-wantDrop)
+	}
+}
+
+func TestBankRejectsBadInput(t *testing.T) {
+	if _, err := NewBank(0, 1, 1, nil, 1); err == nil {
+		t.Fatal("zero stations accepted")
+	}
+	if _, err := NewBank(4, 1, 1, func(int) ArrivalProcess { return nil }, 1); err == nil {
+		t.Fatal("nil arrival process accepted")
+	}
+}
