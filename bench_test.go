@@ -26,6 +26,7 @@ import (
 	"windowctl/internal/queueing"
 	"windowctl/internal/sim"
 	"windowctl/internal/smdp"
+	"windowctl/internal/sweep"
 	"windowctl/internal/window"
 )
 
@@ -78,6 +79,62 @@ func BenchmarkRunMultiStation(b *testing.B) {
 			perIter := b.Elapsed().Seconds() / float64(b.N)
 			b.ReportMetric(perIter*1e9/float64(msgs), "ns/msg")
 			b.ReportMetric(float64(msgs)/perIter, "msgs/sec")
+		})
+	}
+}
+
+// BenchmarkSweepGrid times the phase-diagram grid driver on the pinned
+// sweep workload (see internal/benchcase), cache-cold (every point
+// simulated, results persisted) and cache-warm (every point answered
+// from the content-addressed store; cmd/simbench asserts the warm run
+// is 100% hits).  ns/point and points/sec are the sweep-engine
+// counterparts of the per-message metrics above; cmd/simbench records
+// the same pair in BENCH_*.json for the CI regression gate.
+func BenchmarkSweepGrid(b *testing.B) {
+	for _, c := range benchcase.Sweep() {
+		c := c
+		b.Run(c.Name+"-cold", func(b *testing.B) {
+			var points int
+			for i := 0; i < b.N; i++ {
+				cache, err := sweep.Open(b.TempDir())
+				if err != nil {
+					b.Fatal(err)
+				}
+				outs, err := sweep.Run(c.Space, sweep.Options{Cache: cache})
+				if err != nil {
+					b.Fatal(err)
+				}
+				points = len(outs)
+			}
+			perIter := b.Elapsed().Seconds() / float64(b.N)
+			b.ReportMetric(perIter*1e9/float64(points), "ns/point")
+			b.ReportMetric(float64(points)/perIter, "points/sec")
+		})
+		b.Run(c.Name+"-warm", func(b *testing.B) {
+			dir := b.TempDir()
+			cache, err := sweep.Open(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sweep.Run(c.Space, sweep.Options{Cache: cache}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var points int
+			for i := 0; i < b.N; i++ {
+				warm, err := sweep.Open(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				outs, err := sweep.Run(c.Space, sweep.Options{Cache: warm})
+				if err != nil {
+					b.Fatal(err)
+				}
+				points = len(outs)
+			}
+			perIter := b.Elapsed().Seconds() / float64(b.N)
+			b.ReportMetric(perIter*1e9/float64(points), "ns/point")
+			b.ReportMetric(float64(points)/perIter, "points/sec")
 		})
 	}
 }

@@ -26,6 +26,7 @@ import (
 
 	"windowctl/internal/benchcase"
 	"windowctl/internal/sim"
+	"windowctl/internal/sweep"
 )
 
 // Result is one timed workload.
@@ -180,6 +181,75 @@ func steadyAllocsMulti(cfg sim.MultiConfig) (float64, error) {
 	})
 }
 
+// timeSweepCold times one cache-cold sweep: every point simulated, the
+// results persisted into a fresh cache directory.  Each repetition gets
+// its own directory so no repetition ever sees a warm cache.
+func timeSweepCold(space sweep.Space, reps int) (time.Duration, int, error) {
+	best := time.Duration(1<<63 - 1)
+	var points int
+	for r := 0; r < reps; r++ {
+		dir, err := os.MkdirTemp("", "simbench-sweep-*")
+		if err != nil {
+			return 0, 0, err
+		}
+		start := time.Now()
+		cache, err := sweep.Open(dir)
+		if err == nil {
+			var outs []sweep.Outcome
+			outs, err = sweep.Run(space, sweep.Options{Cache: cache})
+			points = len(outs)
+		}
+		d := time.Since(start)
+		os.RemoveAll(dir)
+		if err != nil {
+			return 0, 0, err
+		}
+		if d < best {
+			best = d
+		}
+	}
+	return best, points, nil
+}
+
+// timeSweepWarm times the cache-warm replay: the directory is populated
+// once (untimed), then every repetition pays the honest warm cost —
+// opening the cache from disk plus answering every point from it.
+func timeSweepWarm(space sweep.Space, reps int) (time.Duration, int, error) {
+	dir, err := os.MkdirTemp("", "simbench-sweep-*")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	cache, err := sweep.Open(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := sweep.Run(space, sweep.Options{Cache: cache}); err != nil {
+		return 0, 0, err
+	}
+	best := time.Duration(1<<63 - 1)
+	var points int
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		warm, err := sweep.Open(dir)
+		if err != nil {
+			return 0, 0, err
+		}
+		outs, err := sweep.Run(space, sweep.Options{Cache: warm})
+		if err != nil {
+			return 0, 0, err
+		}
+		if st := warm.Stats(); st.Misses != 0 {
+			return 0, 0, fmt.Errorf("simbench: warm sweep missed %d points", st.Misses)
+		}
+		points = len(outs)
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best, points, nil
+}
+
 func runBench(outPath string, reps int) error {
 	o := Output{
 		Schema:    schemaID,
@@ -220,6 +290,29 @@ func runBench(outPath string, reps int) error {
 			MessagesPerSec:   float64(msgs) / best.Seconds(),
 			AllocsPerMessage: apm,
 		})
+	}
+	// Sweep workloads measure the grid driver, so their unit is the grid
+	// point, not the message: Messages holds the point count and
+	// NsPerMessage is ns/point.  Allocations are not meaningful at grid
+	// granularity (a point allocates its report and histogram by design),
+	// so the column is suppressed.
+	for _, c := range benchcase.Sweep() {
+		for _, mode := range []struct {
+			name string
+			time func(sweep.Space, int) (time.Duration, int, error)
+		}{{"cold", timeSweepCold}, {"warm", timeSweepWarm}} {
+			best, points, err := mode.time(c.Space, reps)
+			if err != nil {
+				return fmt.Errorf("sweep/%s-%s: %w", c.Name, mode.name, err)
+			}
+			o.Results = append(o.Results, Result{
+				Name:             "sweep/" + c.Name + "-" + mode.name,
+				Messages:         int64(points),
+				NsPerMessage:     float64(best.Nanoseconds()) / float64(points),
+				MessagesPerSec:   float64(points) / best.Seconds(),
+				AllocsPerMessage: -1,
+			})
+		}
 	}
 	fmt.Printf("%-24s %12s %14s %12s\n", "workload", "ns/msg", "msgs/sec", "allocs/msg")
 	for _, r := range o.Results {

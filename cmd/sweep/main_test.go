@@ -1,21 +1,150 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseFloats(t *testing.T) {
-	vals, err := parseFloats("0.25, 0.5,0.75")
-	if err != nil || len(vals) != 3 || vals[1] != 0.5 {
-		t.Fatalf("parse: %v %v", vals, err)
+	got, err := parseFloats(" 0.5, 1,2.25 ")
+	if err != nil {
+		t.Fatal(err)
 	}
-	for _, bad := range []string{"", "a", "1,-2", "1,,2", "0"} {
+	want := []float64{0.5, 1, 2.25}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "-1", "0", "1,,2", "NaN", "1,NaN", "Inf", "1,2,1", "0.5,0.50"} {
 		if _, err := parseFloats(bad); err == nil {
-			t.Errorf("%q accepted", bad)
+			t.Errorf("parseFloats(%q) accepted", bad)
+		}
+	}
+	// The zero-admitting variant (error-rate axes) still rejects
+	// negatives, non-finites and duplicates.
+	if _, err := parseAxis("0,0.01"); err != nil {
+		t.Errorf("parseAxis rejected a zero: %v", err)
+	}
+	for _, bad := range []string{"-0.1", "NaN", "0,0"} {
+		if _, err := parseAxis(bad); err == nil {
+			t.Errorf("parseAxis(%q) accepted", bad)
 		}
 	}
 }
 
-func TestFormat(t *testing.T) {
-	if format(0.25) != "0.25" || format(25) != "25" {
-		t.Fatal("format")
+func TestRunFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-seed", "0"},
+		{"-loads", "0.5,NaN"},
+		{"-loads", "0.5,0.5"},
+		{"-km", "1,1"},
+		{"-km", "-2"},
+		{"-m", "0"},
+		{"-messages", "0", "-sim"},
+		{"-disciplines", "controlled,fifo"},
+		{"-format", "tall"},
+		{"-replications", "3"},             // requires -sim
+		{"-metrics"},                       // requires -sim
+		{"-cache-stats"},                   // requires -cache
+		{"-error-rates", "0,0.01"},         // requires -sim
+		{"-feedback-error", "0.01"},        // requires -sim
+		{"-sim", "-feedback-error", "1.5"}, // probability out of range
+		{"-sim", "-error-rates", "0,2"},    // scaled rate out of range
+		{"-points", "3"},                   // default grid far exceeds 3 points
+	}
+	for _, args := range cases {
+		var out, errBuf bytes.Buffer
+		if err := run(args, &out, &errBuf); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+		if out.Len() != 0 {
+			t.Errorf("run(%v) emitted CSV despite failing", args)
+		}
+	}
+}
+
+// goldenArgs is the tiny grid pinned by testdata/golden_small.csv.
+var goldenArgs = []string{
+	"-loads", "0.25,0.5", "-km", "1,2", "-m", "25",
+	"-sim", "-messages", "2000", "-seed", "1983",
+}
+
+func runGolden(t *testing.T, extra ...string) (string, string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	if err := run(append(append([]string{}, goldenArgs...), extra...), &out, &errBuf); err != nil {
+		t.Fatalf("run(%v): %v\nstderr: %s", extra, err, errBuf.String())
+	}
+	return out.String(), errBuf.String()
+}
+
+// TestGoldenCSV pins the emitted bytes of a small simulated grid — and
+// the tentpole determinism contract: serial, sharded and cache-warm runs
+// all emit exactly the golden file.
+func TestGoldenCSV(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "golden_small.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial, _ := runGolden(t, "-workers", "1")
+	if serial != string(golden) {
+		t.Fatalf("serial run diverged from golden:\n got:\n%s\nwant:\n%s", serial, golden)
+	}
+
+	sharded, _ := runGolden(t, "-workers", "4")
+	if sharded != serial {
+		t.Fatal("sharded run diverged from serial")
+	}
+
+	dir := t.TempDir()
+	cold, _ := runGolden(t, "-workers", "3", "-cache", dir, "-cache-stats")
+	if cold != serial {
+		t.Fatal("cold-cache run diverged from serial")
+	}
+	warm, warmErr := runGolden(t, "-workers", "2", "-cache", dir, "-cache-stats")
+	if warm != serial {
+		t.Fatal("warm-cache run diverged from serial")
+	}
+	if !strings.Contains(warmErr, "100.0% hits") {
+		t.Fatalf("warm run not fully cached; stderr: %s", warmErr)
+	}
+}
+
+// TestLongAndHeatmapFormats sanity-checks the alternative formats on the
+// golden grid (shape only — the cell values are pinned by the sweep
+// package's own determinism tests).
+func TestLongAndHeatmapFormats(t *testing.T) {
+	long, _ := runGolden(t, "-format", "long")
+	lines := strings.Split(strings.TrimRight(long, "\n"), "\n")
+	if len(lines) != 1+2*2*3 { // header + loads×km×disciplines
+		t.Fatalf("long format has %d lines:\n%s", len(lines), long)
+	}
+	if !strings.HasPrefix(lines[0], "rho,m,k_over_m,k,discipline,error_rate,analytic,sim") {
+		t.Fatalf("long header: %q", lines[0])
+	}
+
+	heat, _ := runGolden(t, "-format", "heatmap")
+	if got := strings.Count(heat, "# loss surface"); got != 3 { // one per discipline
+		t.Fatalf("heatmap emitted %d surfaces, want 3:\n%s", got, heat)
+	}
+}
+
+// TestMetricsToStderr pins the stream split: CSV on stdout, grid metrics
+// on stderr.
+func TestMetricsToStderr(t *testing.T) {
+	out, errText := runGolden(t, "-metrics")
+	if strings.Contains(out, "grid slot metrics") {
+		t.Fatal("metrics leaked into the CSV stream")
+	}
+	if !strings.Contains(errText, "grid slot metrics") {
+		t.Fatalf("metrics missing from stderr: %s", errText)
 	}
 }

@@ -14,7 +14,9 @@
 package benchcase
 
 import (
+	"windowctl/internal/core"
 	"windowctl/internal/sim"
+	"windowctl/internal/sweep"
 	"windowctl/internal/window"
 )
 
@@ -28,6 +30,16 @@ type GlobalCase struct {
 type MultiCase struct {
 	Name string
 	Cfg  sim.MultiConfig
+}
+
+// SweepCase is one grid-driver workload: the harness times the same
+// space cold (empty cache, every point simulated) and warm (second run
+// on the same cache directory, every point answered from disk), so the
+// recorded points/sec pair pins both the sharded-execution and the
+// cache-lookup paths against regression.
+type SweepCase struct {
+	Name  string
+	Space sweep.Space
 }
 
 // globalEnd keeps one iteration around tens of milliseconds.
@@ -127,5 +139,25 @@ func Multi() []MultiCase {
 		mScale("m1e3", 1_000, 113),
 		mScale("m1e5", 100_000, 127),
 		mScale("m1e6", 1_000_000, 131),
+	}
+}
+
+// Sweep returns the grid-driver workloads: a figure-7-shaped controlled
+// grid (one panel's load triple over the full constraint axis), sized so
+// one cold evaluation takes tens of milliseconds and the warm replay is
+// dominated by cache open + lookup.
+func Sweep() []SweepCase {
+	return []SweepCase{
+		{
+			Name: "grid24",
+			Space: sweep.Space{
+				Loads:       []float64{0.25, 0.5, 0.75},
+				Ms:          []float64{25},
+				KOverM:      []float64{0.5, 1, 1.5, 2, 3, 4, 6, 8},
+				Disciplines: []core.Discipline{core.Controlled},
+				Messages:    2e4,
+				Seed:        1983,
+			},
+		},
 	}
 }

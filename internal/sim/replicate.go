@@ -2,8 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"windowctl/internal/rngutil"
 	"windowctl/internal/stats"
@@ -36,16 +34,18 @@ func RunReplicated(cfg Config, n int) (Replicated, error) {
 	if cfg.Collector != nil {
 		return Replicated{}, fmt.Errorf("sim: a shared Collector cannot be replicated (replications run concurrently); collect per run and Merge instead")
 	}
+	// Replications run over the bounded runJobs pool (the PR-1 worker
+	// pool behind Figure7Panels): min(n, GOMAXPROCS) goroutines pulling
+	// jobs, instead of the n up-front goroutines (gated only after
+	// spawning) this replaces — a million-replication request now costs
+	// a handful of stacks, not a million.  Job i always uses the seed
+	// derived from its own index, so results are bit-identical at any
+	// degree of parallelism.
 	runs := make([]Report, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	jobs := make([]func() error, n)
 	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+		i := i
+		jobs[i] = func() error {
 			c := cfg
 			// Distinct, deterministic seeds per replication.  Mix64's
 			// SplitMix64 avalanche keeps adjacent replications
@@ -57,17 +57,21 @@ func RunReplicated(cfg Config, n int) (Replicated, error) {
 				// Replications are independent fault-schedule draws too.
 				c.Faults.Seed = rngutil.Mix64(cfg.Faults.Seed, uint64(i+1), degradationFaultTag)
 			}
-			runs[i], errs[i] = RunGlobal(c)
-		}(i)
+			var err error
+			runs[i], err = RunGlobal(c)
+			if err != nil {
+				return fmt.Errorf("replication %d: %w", i, err)
+			}
+			return nil
+		}
 	}
-	wg.Wait()
+	if err := runJobs(jobs, 0); err != nil {
+		return Replicated{}, err
+	}
 	out := Replicated{Runs: runs}
 	losses := make([]float64, 0, n)
 	waits := make([]float64, 0, n)
-	for i, err := range errs {
-		if err != nil {
-			return Replicated{}, fmt.Errorf("replication %d: %w", i, err)
-		}
+	for i := range runs {
 		losses = append(losses, runs[i].Loss())
 		waits = append(waits, runs[i].TrueWait.Mean())
 	}

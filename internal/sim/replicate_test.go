@@ -5,7 +5,67 @@ import (
 	"testing"
 
 	"windowctl/internal/rngutil"
+	"windowctl/internal/window"
 )
+
+// TestRunReplicatedMatchesSerialRuns pins the pooled implementation:
+// routing replications through the bounded runJobs worker pool (instead
+// of one goroutine per replication) must leave every replication's
+// report bit-identical to a direct serial RunGlobal call with the same
+// derived seed.
+func TestRunReplicatedMatchesSerialRuns(t *testing.T) {
+	cfg := Config{
+		Policy: window.Controlled{Length: window.FixedG(2.6)},
+		Tau:    1, M: 25, Lambda: 0.5 / 25, K: 50,
+		EndTime: 2e4, Warmup: 1e3, Seed: 1983,
+	}
+	const n = 9
+	rep, err := RunReplicated(cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != n {
+		t.Fatalf("got %d runs, want %d", len(rep.Runs), n)
+	}
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = rngutil.Mix64(cfg.Seed, uint64(i+1))
+		want, err := RunGlobal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := rep.Runs[i]
+		if got.Offered != want.Offered || got.Loss() != want.Loss() ||
+			got.TrueWait.Mean() != want.TrueWait.Mean() ||
+			got.Transmissions != want.Transmissions {
+			t.Errorf("replication %d diverged from its serial run: got %v want %v", i, got, want)
+		}
+	}
+}
+
+// TestRunReplicatedErrorCarriesIndex pins the error contract the pooled
+// implementation must preserve: a failing replication reports its index.
+func TestRunReplicatedErrorCarriesIndex(t *testing.T) {
+	cfg := Config{
+		Policy: window.FCFS{Length: window.FixedG(2.6)},
+		Tau:    1, M: 25, Lambda: 3.0 / 25, K: 1e9, // hopeless overload, no discards
+		EndTime: 5e4, Warmup: 0, Seed: 7, MaxBacklog: 64,
+	}
+	if _, err := RunReplicated(cfg, 3); err == nil {
+		t.Fatal("expected a backlog error from an unstable baseline")
+	} else if got := err.Error(); !containsReplicationIndex(got) {
+		t.Fatalf("error %q does not name a replication index", got)
+	}
+}
+
+func containsReplicationIndex(s string) bool {
+	for i := 0; i+len("replication ") < len(s); i++ {
+		if s[i:i+len("replication ")] == "replication " {
+			return true
+		}
+	}
+	return false
+}
 
 // TestReplicationSeedDerivation is the regression test for the seed
 // derivation in RunReplicated.  The XOR scheme it replaces —

@@ -1,0 +1,233 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"windowctl/internal/core"
+	"windowctl/internal/fault"
+	"windowctl/internal/metrics"
+)
+
+// Options tunes a sweep run.
+type Options struct {
+	// Workers bounds the number of points evaluated concurrently; 0
+	// means GOMAXPROCS, 1 means serial.  The outcomes are bit-identical
+	// at every worker count: each point's random streams derive from
+	// its identity, never from scheduling order.
+	Workers int
+	// Cache, when non-nil, answers points from the content-addressed
+	// store and persists every freshly computed result.  Nil disables
+	// caching entirely.
+	Cache *Cache
+	// MaxPoints, when positive, is the evaluation budget: Run refuses a
+	// space that enumerates to more points, before doing any work.  A
+	// guard against accidentally launching a week-long grid.
+	MaxPoints int
+	// FlushEvery bounds how many freshly computed results may sit
+	// unflushed in the cache buffer; 0 means 4096.  A crashed sweep
+	// loses at most this many points.
+	FlushEvery int
+	// Metrics, when non-nil, aggregates the slot-level counters of
+	// every *executed* simulation run into one collector (cache hits
+	// contribute nothing — their runs happened in an earlier sweep).
+	// Each run gets its own fresh collector, so its conservation
+	// invariants are still verified individually; the per-run counters
+	// are merged in after the run.  Incompatible with Replications >= 2
+	// (replications cannot share a collector).
+	Metrics *metrics.SlotMetrics
+}
+
+// Outcome pairs a point with its (computed or cached) result.
+type Outcome struct {
+	Point  Point
+	Key    string
+	Result Result
+	// Cached reports whether the result came from the cache.
+	Cached bool
+}
+
+// Run enumerates the space and evaluates every point, answering what it
+// can from the cache and fanning the misses over a sharded worker pool:
+// the miss list is split into Workers contiguous shards, one persistent
+// goroutine each, and results land in enumeration-order slots so the
+// returned slice — and anything emitted from it — is bit-identical at
+// any worker count and across cold/warm cache runs.
+func Run(space Space, opt Options) ([]Outcome, error) {
+	norm, err := space.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if opt.Metrics != nil && norm.Replications > 1 {
+		return nil, fmt.Errorf("sweep: Metrics cannot aggregate replicated runs (replications share no collector)")
+	}
+	pts, err := norm.Enumerate()
+	if err != nil {
+		return nil, err
+	}
+	if opt.MaxPoints > 0 && len(pts) > opt.MaxPoints {
+		return nil, fmt.Errorf("sweep: grid has %d points, over the %d-point budget (raise -points or shrink an axis)",
+			len(pts), opt.MaxPoints)
+	}
+
+	outs := make([]Outcome, len(pts))
+	var misses []int
+	for i, p := range pts {
+		key := p.Key()
+		outs[i] = Outcome{Point: p, Key: key}
+		if r, ok := opt.Cache.Get(key); ok {
+			outs[i].Result = r
+			outs[i].Cached = true
+			continue
+		}
+		misses = append(misses, i)
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(misses) {
+		workers = len(misses)
+	}
+	flushEvery := opt.FlushEvery
+	if flushEvery <= 0 {
+		flushEvery = 4096
+	}
+
+	// commit folds one computed result into the shared state: the cache
+	// (with a bounded-staleness flush) and the aggregate collector.
+	var mu sync.Mutex
+	var commitErr error
+	commit := func(i int, sm *metrics.SlotMetrics) {
+		mu.Lock()
+		defer mu.Unlock()
+		if opt.Metrics != nil && sm != nil {
+			opt.Metrics.Merge(sm)
+		}
+		if commitErr != nil {
+			return
+		}
+		if err := opt.Cache.Put(outs[i].Key, outs[i].Point, outs[i].Result); err != nil {
+			commitErr = err
+			return
+		}
+		if opt.Cache.Dirty() >= flushEvery {
+			commitErr = opt.Cache.Flush()
+		}
+	}
+	evalSpan := func(lo, hi int) {
+		for _, i := range misses[lo:hi] {
+			var sm *metrics.SlotMetrics
+			if opt.Metrics != nil {
+				sm = &metrics.SlotMetrics{}
+			}
+			outs[i].Result = evaluate(outs[i].Point, sm)
+			commit(i, sm)
+		}
+	}
+
+	if workers <= 1 {
+		evalSpan(0, len(misses))
+	} else {
+		chunk := (len(misses) + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(misses) {
+				hi = len(misses)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				evalSpan(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	if commitErr != nil {
+		return nil, commitErr
+	}
+	if err := opt.Cache.Flush(); err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+// evaluate computes one point: the §4 analytic prediction plus, when
+// the point carries a simulation budget, the simulated loss (replicated
+// when Replications >= 2).  Simulation failures (unstable baselines
+// exceeding MaxBacklog) are recorded in the result, not returned — a
+// hopeless cell is a legitimate, cacheable answer for a surface.
+func evaluate(p Point, sm *metrics.SlotMetrics) Result {
+	var res Result
+	disc, err := ParseDiscipline(p.Discipline)
+	if err != nil {
+		res.AnalyticErr = err.Error()
+		res.SimErr = err.Error()
+		return res
+	}
+	sys := core.System{
+		Tau: p.Tau, M: p.M, RhoPrime: p.RhoPrime, K: p.K(),
+		Discipline: disc, Seed: p.Seed,
+	}
+	if a, err := sys.AnalyticLoss(); err == nil {
+		res.AnalyticLoss = fin(a.Loss)
+		res.AnalyticOK = true
+	} else {
+		res.AnalyticErr = err.Error()
+	}
+	if p.Messages <= 0 {
+		return res
+	}
+
+	opt := core.SimOptions{
+		EndTime: p.Messages / sys.Lambda(),
+		Faults:  fault.Config{Rates: p.Rates, Seed: p.FaultSeed},
+	}
+	if p.Replications >= 2 {
+		rep, err := sys.SimulateReplicated(p.Replications, opt)
+		if err != nil {
+			res.SimErr = err.Error()
+			return res
+		}
+		res.SimOK = true
+		res.SimLoss = fin(rep.LossMean)
+		res.SimLo = fin(rep.LossMean - rep.LossHalfWidth)
+		res.SimHi = fin(rep.LossMean + rep.LossHalfWidth)
+		res.MeanWait = fin(rep.WaitMean)
+		var util float64
+		for _, r := range rep.Runs {
+			res.Offered += r.Offered
+			res.Decided += r.Decided()
+			util += r.Utilization
+		}
+		res.Utilization = fin(util / float64(len(rep.Runs)))
+		return res
+	}
+
+	sopt := opt
+	if sm != nil {
+		sopt.Collector = sm
+	}
+	rep, err := sys.Simulate(sopt)
+	if err != nil {
+		res.SimErr = err.Error()
+		return res
+	}
+	lo, hi := rep.LossCI(0.95)
+	res.SimOK = true
+	res.SimLoss = fin(rep.Loss())
+	res.SimLo = fin(lo)
+	res.SimHi = fin(hi)
+	res.MeanWait = fin(rep.TrueWait.Mean())
+	res.Utilization = fin(rep.Utilization)
+	res.Offered = rep.Offered
+	res.Decided = rep.Decided()
+	return res
+}

@@ -1,0 +1,202 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The emitters render outcome slices (in enumeration order, as Run
+// returns them) into plot-ready CSV.  All values are printed from the
+// Point and Result structs with fixed formats, so emitted bytes are
+// identical across worker counts and across cold/warm cache runs.
+//
+//   - WriteCSV: long format, one row per point — the general surface
+//     format (every axis is a column), for dataframes and pivoting.
+//   - WriteWideCSV: one row per (ρ′, M, K/M, ε) with one analytic and
+//     one simulated column per discipline — the shape cmd/sweep has
+//     always emitted, extended with the error-rate axis.
+//   - WriteHeatmaps: one matrix block per (M, discipline, ε) surface
+//     with ρ′ rows and K/M columns — loss surfaces for gnuplot
+//     `matrix`, numpy loadtxt or spreadsheet conditional formatting.
+
+// axisFmt renders an axis value exactly (shortest round-trip form).
+func axisFmt(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// lossFmt renders a loss/ratio cell.
+func lossFmt(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+
+// simCell returns the simulated-loss cell of an outcome ("" when the
+// point was not simulated or the run failed).
+func simCell(o Outcome) string {
+	if !o.Result.SimOK {
+		return ""
+	}
+	return lossFmt(o.Result.SimLoss)
+}
+
+// analyticCell returns the analytic-loss cell ("" when no model).
+func analyticCell(o Outcome) string {
+	if !o.Result.AnalyticOK {
+		return ""
+	}
+	return lossFmt(o.Result.AnalyticLoss)
+}
+
+// WriteCSV emits the long format: one row per point with every axis and
+// every measured quantity as its own column.
+func WriteCSV(w io.Writer, outs []Outcome) error {
+	if _, err := fmt.Fprintln(w,
+		"rho,m,k_over_m,k,discipline,error_rate,analytic,sim,sim_lo,sim_hi,mean_wait,utilization,offered,decided"); err != nil {
+		return err
+	}
+	for _, o := range outs {
+		p := o.Point
+		row := []string{
+			axisFmt(p.RhoPrime), axisFmt(p.M), axisFmt(p.KOverM), axisFmt(p.K()),
+			p.Discipline, axisFmt(p.ErrorRate),
+			analyticCell(o),
+		}
+		if o.Result.SimOK {
+			row = append(row,
+				lossFmt(o.Result.SimLoss), lossFmt(o.Result.SimLo), lossFmt(o.Result.SimHi),
+				lossFmt(o.Result.MeanWait), lossFmt(o.Result.Utilization),
+				strconv.FormatInt(o.Result.Offered, 10), strconv.FormatInt(o.Result.Decided, 10))
+		} else {
+			row = append(row, "", "", "", "", "", "", "")
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// indexer maps (load, m, km, eps, disc) axis positions to the
+// enumeration-order outcome index.  It trusts the Run contract: outs
+// was produced from the same normalized space, disciplines innermost.
+type indexer struct {
+	s Space
+}
+
+func (ix indexer) at(outs []Outcome, li, mi, ki, ei, di int) Outcome {
+	n := len(ix.s.Disciplines)
+	i := ((((li*len(ix.s.Ms)+mi)*len(ix.s.KOverM)+ki)*len(ix.s.ErrorRates) + ei) * n) + di
+	return outs[i]
+}
+
+// checkShape verifies outs matches the normalized space.
+func checkShape(s Space, outs []Outcome) (Space, error) {
+	norm, err := s.Normalize()
+	if err != nil {
+		return norm, err
+	}
+	if len(outs) != norm.Size() {
+		return norm, fmt.Errorf("sweep: %d outcomes do not tile the %d-point space", len(outs), norm.Size())
+	}
+	return norm, nil
+}
+
+// WriteWideCSV emits one row per (ρ′, M, K/M, ε) cell with one analytic
+// column per discipline and — when the space simulates — one simulated
+// column per discipline.
+func WriteWideCSV(w io.Writer, s Space, outs []Outcome) error {
+	norm, err := checkShape(s, outs)
+	if err != nil {
+		return err
+	}
+	ix := indexer{norm}
+	header := []string{"rho", "m", "k_over_m", "k", "error_rate"}
+	for _, d := range norm.Disciplines {
+		header = append(header, d.String())
+	}
+	if norm.Messages > 0 {
+		for _, d := range norm.Disciplines {
+			header = append(header, "sim_"+d.String())
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for li, rho := range norm.Loads {
+		for mi, m := range norm.Ms {
+			for ki, km := range norm.KOverM {
+				for ei, eps := range norm.ErrorRates {
+					row := []string{
+						axisFmt(rho), axisFmt(m), axisFmt(km),
+						axisFmt(km * m * norm.Tau), axisFmt(eps),
+					}
+					for di := range norm.Disciplines {
+						row = append(row, analyticCell(ix.at(outs, li, mi, ki, ei, di)))
+					}
+					if norm.Messages > 0 {
+						for di := range norm.Disciplines {
+							row = append(row, simCell(ix.at(outs, li, mi, ki, ei, di)))
+						}
+					}
+					if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WriteHeatmaps emits one loss-surface matrix per (M, discipline, ε):
+// a comment line naming the surface, a header row of K/M values, then
+// one row per ρ′.  Cells hold the simulated loss when the point was
+// simulated, else the analytic loss, else an empty cell — so the same
+// emitter renders simulation surfaces, analytic surfaces and
+// degradation grids (fix M and discipline, compare ε blocks).
+func WriteHeatmaps(w io.Writer, s Space, outs []Outcome) error {
+	norm, err := checkShape(s, outs)
+	if err != nil {
+		return err
+	}
+	ix := indexer{norm}
+	first := true
+	for mi, m := range norm.Ms {
+		for di, d := range norm.Disciplines {
+			for ei, eps := range norm.ErrorRates {
+				if !first {
+					if _, err := fmt.Fprintln(w); err != nil {
+						return err
+					}
+				}
+				first = false
+				if _, err := fmt.Fprintf(w, "# loss surface m=%s discipline=%s error_rate=%s\n",
+					axisFmt(m), d.String(), axisFmt(eps)); err != nil {
+					return err
+				}
+				header := []string{"rho\\k_over_m"}
+				for _, km := range norm.KOverM {
+					header = append(header, axisFmt(km))
+				}
+				if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+					return err
+				}
+				for li, rho := range norm.Loads {
+					row := []string{axisFmt(rho)}
+					for ki := range norm.KOverM {
+						o := ix.at(outs, li, mi, ki, ei, di)
+						switch {
+						case o.Result.SimOK:
+							row = append(row, lossFmt(o.Result.SimLoss))
+						case o.Result.AnalyticOK:
+							row = append(row, lossFmt(o.Result.AnalyticLoss))
+						default:
+							row = append(row, "")
+						}
+					}
+					if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
