@@ -7,7 +7,7 @@
 // Usage:
 //
 //	figures [-panel all|RHO,M] [-sim] [-baselines] [-metrics] [-messages N]
-//	        [-seed S] [-parallel] [-workers N]
+//	        [-seed S] [-parallel] [-workers N] [-protocol NAME]
 //	        [-degradation] [-error-rates 0,0.01,...]
 //	        [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -20,6 +20,12 @@
 //	figures -sim -metrics          # print per-run slot metrics tables too
 //	figures -sim -parallel=false   # force sequential evaluation
 //	figures -degradation           # loss vs. feedback-error rate per panel
+//	figures -protocol tournament -panel 0.5,25   # a zoo protocol's curve
+//
+// -protocol swaps which registered protocol (see docs/PROTOCOLS.md) the
+// simulated curve runs — against the unchanged analytic curves and
+// FCFS/LCFS baselines — in both the figure-7 and -degradation modes;
+// empty keeps the paper's controlled protocol.
 //
 // -degradation switches the harness into its imperfect-feedback mode: for
 // every constraint of each selected panel the controlled protocol is
@@ -64,6 +70,7 @@ func main() {
 	parallel := flag.Bool("parallel", true, "evaluate panels over a worker pool (output is identical either way)")
 	workers := flag.Int("workers", 0, "worker count for -parallel (0 = GOMAXPROCS)")
 	metricsFlag := flag.Bool("metrics", false, "collect and print per-run slot metrics (implies -sim; verifies conservation invariants)")
+	protoFlag := flag.String("protocol", "", "registered protocol for the simulated curve (implies -sim; empty = controlled): "+strings.Join(windowctl.ProtocolNames(), " | "))
 	degradation := flag.Bool("degradation", false, "evaluate loss vs. feedback-error rate instead of the figure-7 curves")
 	errorRates := flag.String("error-rates", "", "comma-separated feedback-error grid for -degradation (default 0,0.01,0.02,0.05,0.1,0.2)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -108,12 +115,13 @@ func main() {
 		os.Exit(2)
 	}
 	opt := windowctl.Figure7Options{
-		Disable:   !*simFlag && !*baseFlag && !*metricsFlag,
+		Disable:   !*simFlag && !*baseFlag && !*metricsFlag && *protoFlag == "",
 		Baselines: *baseFlag,
 		Messages:  *messages,
 		Seed:      *seed,
 		Workers:   *workers,
 		Metrics:   *metricsFlag,
+		Protocol:  *protoFlag,
 	}
 	if !*parallel {
 		opt.Workers = 1

@@ -9,7 +9,8 @@
 // Usage:
 //
 //	sweep [-m 25] [-loads 0.25,0.5,0.75] [-km 0.5,1,2,4]
-//	      [-disciplines controlled,fcfs,lcfs] [-format wide|long|heatmap]
+//	      [-disciplines controlled,fcfs,lcfs] [-protocol tournament,acdc]
+//	      [-format wide|long|heatmap]
 //	      [-sim] [-messages 50000] [-replications N] [-seed 1983]
 //	      [-workers N] [-cache DIR] [-cache-stats] [-points BUDGET]
 //	      [-error-rates 0,0.01,0.05]
@@ -24,6 +25,13 @@
 // k.  "long" emits one row per point with every measurement (CIs, mean
 // wait, utilization, counts).  "heatmap" emits one loss-surface matrix
 // (ρ′ rows × K/M columns) per (M, discipline, ε).
+//
+// The discipline axis ranges over the full MAC zoo: -protocol is the
+// zoo spelling of -disciplines (same axis, overrides the default list),
+// so cross-protocol comparison surfaces — the paper's protocol against
+// the tournament MAC and AC/DC-RA admission control — come out of one
+// run.  Zoo protocols without an analytic model leave their analytic
+// column empty and simulate like any other discipline.
 //
 // The -error-rates axis sweeps feedback degradation: at grid value ε the
 // injected per-kind fault probabilities are the -feedback-error family
@@ -71,7 +79,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	ms := fs.String("m", "25", "comma-separated message lengths in slots")
 	loads := fs.String("loads", "0.25,0.5,0.75", "comma-separated offered loads ρ'")
 	kms := fs.String("km", "0.5,1,1.5,2,3,4,6,8", "comma-separated constraints in message times")
-	disciplines := fs.String("disciplines", "controlled,fcfs,lcfs", "comma-separated disciplines (controlled,fcfs,lcfs,random)")
+	disciplines := fs.String("disciplines", "controlled,fcfs,lcfs", "comma-separated disciplines (controlled,fcfs,lcfs,random,tournament,acdc)")
+	proto := fs.String("protocol", "", "comma-separated protocol names for the discipline axis (the MAC zoo; overrides -disciplines)")
 	format := fs.String("format", "wide", "output format: wide, long or heatmap")
 	sim := fs.Bool("sim", false, "add simulated loss columns")
 	messages := fs.Float64("messages", 5e4, "offered messages per simulation point")
@@ -148,10 +157,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if space.KOverM, err = parseFloats(*kms); err != nil {
 		return fmt.Errorf("-km: %w", err)
 	}
-	for _, name := range strings.Split(*disciplines, ",") {
+	// -protocol is the zoo spelling of the discipline axis; it replaces
+	// the -disciplines default but may not fight an explicit one.
+	discFlag, discList := "-disciplines", *disciplines
+	if *proto != "" {
+		if explicit["disciplines"] {
+			return fmt.Errorf("set -disciplines or -protocol, not both")
+		}
+		discFlag, discList = "-protocol", *proto
+	}
+	for _, name := range strings.Split(discList, ",") {
 		d, err := sweep.ParseDiscipline(strings.TrimSpace(name))
 		if err != nil {
-			return fmt.Errorf("-disciplines: %w", err)
+			return fmt.Errorf("%s: %w", discFlag, err)
 		}
 		space.Disciplines = append(space.Disciplines, d)
 	}

@@ -148,3 +148,53 @@ func TestMetricsToStderr(t *testing.T) {
 		t.Fatalf("metrics missing from stderr: %s", errText)
 	}
 }
+
+// TestProtocolAxis pins the zoo spelling of the discipline axis: a
+// -protocol list replaces the default disciplines, the emitted wide CSV
+// gets one analytic and one sim column per protocol (analytic cells
+// empty for zoo protocols with no model), and the flag may not fight an
+// explicit -disciplines.
+func TestProtocolAxis(t *testing.T) {
+	args := []string{
+		"-loads", "0.5", "-km", "1,2", "-m", "25",
+		"-sim", "-messages", "2000", "-seed", "1983",
+		"-protocol", "acdc,tournament",
+	}
+	var out, errBuf bytes.Buffer
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatalf("run(%v): %v\nstderr: %s", args, err, errBuf.String())
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 1+2 { // header + loads×km rows
+		t.Fatalf("wide CSV has %d lines:\n%s", len(lines), out.String())
+	}
+	const wantHeader = "rho,m,k_over_m,k,error_rate,acdc,tournament,sim_acdc,sim_tournament"
+	if lines[0] != wantHeader {
+		t.Fatalf("header %q, want %q", lines[0], wantHeader)
+	}
+	for _, line := range lines[1:] {
+		cells := strings.Split(line, ",")
+		if len(cells) != 9 {
+			t.Fatalf("row %q has %d cells", line, len(cells))
+		}
+		// No analytic model for either zoo protocol: empty cells.
+		if cells[5] != "" || cells[6] != "" {
+			t.Errorf("zoo analytic cells not empty in %q", line)
+		}
+		// Both protocols simulated a loss value.
+		if cells[7] == "" || cells[8] == "" {
+			t.Errorf("missing simulated loss in %q", line)
+		}
+	}
+
+	for _, bad := range [][]string{
+		{"-disciplines", "controlled", "-protocol", "acdc"}, // both axes
+		{"-protocol", "no-such-mac"},                        // unknown name
+		{"-protocol", "acdc,acdc"},                          // duplicate
+	} {
+		var o, e bytes.Buffer
+		if err := run(bad, &o, &e); err == nil {
+			t.Errorf("run(%v) accepted", bad)
+		}
+	}
+}

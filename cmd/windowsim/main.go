@@ -12,8 +12,8 @@
 //
 // Usage:
 //
-//	windowsim -rho 0.75 -m 25 -km 2 [-discipline controlled|fcfs|lcfs|random]
-//	          [-stations N] [-messages 1e5] [-seed S] [-g G]
+//	windowsim -rho 0.75 -m 25 -km 2 [-discipline controlled|fcfs|lcfs|random|tournament|acdc]
+//	          [-protocol NAME] [-stations N] [-messages 1e5] [-seed S] [-g G]
 //	          [-feedback-error P] [-feedback-error-erasure P]
 //	          [-feedback-error-false-collision P] [-feedback-error-missed-collision P]
 //	          [-feedback-error-seed S] [-feedback-error-per-station]
@@ -33,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"windowctl"
 	"windowctl/internal/profiling"
@@ -44,7 +45,8 @@ func main() {
 	tau := flag.Float64("tau", 1, "slot time τ")
 	k := flag.Float64("k", 0, "time constraint K (absolute)")
 	km := flag.Float64("km", 2, "time constraint in message times (used when -k is 0)")
-	disc := flag.String("discipline", "controlled", "controlled | fcfs | lcfs | random")
+	disc := flag.String("discipline", "controlled", "controlled | fcfs | lcfs | random | tournament | acdc")
+	proto := flag.String("protocol", "", "registered protocol name (the MAC zoo; overrides -discipline): "+strings.Join(windowctl.ProtocolNames(), " | "))
 	stations := flag.Int("stations", 0, "run the full multi-station simulator with N stations (0 = global view)")
 	messages := flag.Float64("messages", 1e5, "approximate offered messages")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -119,23 +121,28 @@ func main() {
 	if constraint == 0 {
 		constraint = *km * *m * *tau
 	}
-	var d windowctl.Discipline
-	switch *disc {
-	case "controlled":
-		d = windowctl.Controlled
-	case "fcfs":
-		d = windowctl.FCFS
-	case "lcfs":
-		d = windowctl.LCFS
-	case "random":
-		d = windowctl.Random
-	default:
-		fmt.Fprintf(os.Stderr, "windowsim: unknown discipline %q\n", *disc)
-		os.Exit(2)
+	// -protocol selects any registered zoo protocol by name; -discipline
+	// remains the classic enum spelling.  Protocol names that correspond
+	// to disciplines are normalized by the library, so both routes reach
+	// the same construction.
+	name := *disc
+	if *proto != "" {
+		if explicit["discipline"] {
+			usage("set -discipline or -protocol, not both")
+		}
+		name = *proto
 	}
 	sys := windowctl.System{
 		Tau: *tau, M: *m, RhoPrime: *rho, K: constraint,
-		Discipline: d, Seed: *seed, WindowG: *g,
+		Seed: *seed, WindowG: *g,
+	}
+	if d, err := windowctl.ParseDiscipline(name); err == nil {
+		sys.Discipline = d
+	} else {
+		sys.Protocol = name
+	}
+	if _, err := sys.Policy(); err != nil {
+		usage("%v", err)
 	}
 	if *expLen {
 		sys.TxLengths = windowctl.ExponentialLength(*m * *tau)
@@ -157,7 +164,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "windowsim:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("discipline          %s (%d replications)\n", d, *replications)
+		fmt.Printf("discipline          %s (%d replications)\n", name, *replications)
 		fmt.Printf("loss                %.5f ± %.5f (95%% t-interval)\n", r.LossMean, r.LossHalfWidth)
 		fmt.Printf("mean true wait      %.4f ± %.4f\n", r.WaitMean, r.WaitHalfWidth)
 		return
@@ -176,7 +183,7 @@ func main() {
 	}
 
 	lo, hi := rep.LossCI(0.95)
-	fmt.Printf("discipline          %s\n", d)
+	fmt.Printf("discipline          %s\n", name)
 	fmt.Printf("offered messages    %d\n", rep.Offered)
 	fmt.Printf("loss                %.5f  (95%% CI [%.5f, %.5f])\n", rep.Loss(), lo, hi)
 	fmt.Printf("  at sender         %d\n", rep.LostSender)

@@ -11,16 +11,24 @@ package core
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"windowctl/internal/dist"
 	"windowctl/internal/fault"
 	"windowctl/internal/metrics"
+	"windowctl/internal/protocol"
+	"windowctl/internal/protocol/acdc"
+	"windowctl/internal/protocol/tournament"
 	"windowctl/internal/queueing"
-	"windowctl/internal/rngutil"
 	"windowctl/internal/sim"
 	"windowctl/internal/smdp"
 	"windowctl/internal/trace"
 	"windowctl/internal/window"
+
+	// Link the full protocol zoo into the registry, so every protocol is
+	// reachable by name from System.Protocol, the sweep discipline axis
+	// and the CLIs' -protocol flag.
+	_ "windowctl/internal/protocol/zoo"
 )
 
 // Discipline selects the scheduling discipline — the paper's controlled
@@ -38,9 +46,16 @@ const (
 	LCFS
 	// Random is the uncontrolled random-order baseline.
 	Random
+	// Tournament is Galtier's constant-window tournament MAC
+	// (internal/protocol/tournament).
+	Tournament
+	// ACDC is admission-control delay-constrained random access
+	// (internal/protocol/acdc).
+	ACDC
 )
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer.  The returned name doubles as the
+// protocol-registry selector for the discipline.
 func (d Discipline) String() string {
 	switch d {
 	case Controlled:
@@ -51,9 +66,35 @@ func (d Discipline) String() string {
 		return "lcfs"
 	case Random:
 		return "random"
+	case Tournament:
+		return tournament.Name
+	case ACDC:
+		return acdc.Name
 	default:
 		return fmt.Sprintf("discipline(%d)", int(d))
 	}
+}
+
+// Disciplines returns every named discipline, in enum order.  The list
+// is what ParseDiscipline accepts and what the sweep discipline axis
+// can range over.
+func Disciplines() []Discipline {
+	return []Discipline{Controlled, FCFS, LCFS, Random, Tournament, ACDC}
+}
+
+// ParseDiscipline maps a canonical name (Discipline.String) back to the
+// discipline value.
+func ParseDiscipline(name string) (Discipline, error) {
+	for _, d := range Disciplines() {
+		if d.String() == name {
+			return d, nil
+		}
+	}
+	names := make([]string, 0, len(Disciplines()))
+	for _, d := range Disciplines() {
+		names = append(names, d.String())
+	}
+	return 0, fmt.Errorf("core: unknown discipline %q (have %s)", name, strings.Join(names, ", "))
 }
 
 // System is one protocol operating point.
@@ -68,6 +109,13 @@ type System struct {
 	K float64
 	// Discipline selects the policy (default Controlled).
 	Discipline Discipline
+	// Protocol selects a registered protocol plugin by name (see
+	// internal/protocol) — the superset of the Discipline enum, open to
+	// third-party registrations.  Empty means use Discipline; setting
+	// both a Protocol and a non-default Discipline is an error.  Names
+	// that correspond to a discipline are normalized onto it, so the
+	// analytic models keep working.
+	Protocol string
 	// WindowG overrides the mean initial-window content (policy element
 	// (2)); 0 selects the paper's heuristic optimum G*.
 	WindowG float64
@@ -106,10 +154,30 @@ func (s System) withDefaults() (System, error) {
 	if s.SplitFraction != 0 && (s.SplitFraction <= 0 || s.SplitFraction >= 1) {
 		return s, fmt.Errorf("core: SplitFraction %v outside (0,1)", s.SplitFraction)
 	}
-	if s.SplitFraction != 0 && s.Discipline != Controlled {
+	if s.Protocol != "" {
+		if s.Discipline != Controlled {
+			return s, fmt.Errorf("core: set Discipline or Protocol, not both (got %v and %q)", s.Discipline, s.Protocol)
+		}
+		// Normalize protocol names that ARE disciplines onto the enum, so
+		// the analytic models and discipline-specific checks keep working.
+		if d, err := ParseDiscipline(s.Protocol); err == nil {
+			s.Discipline, s.Protocol = d, ""
+		} else if _, ok := protocol.Get(s.Protocol); !ok {
+			return s, fmt.Errorf("core: unknown protocol %q (registered: %s)", s.Protocol, strings.Join(protocol.Names(), ", "))
+		}
+	}
+	if s.SplitFraction != 0 && (s.Discipline != Controlled || s.Protocol != "") {
 		return s, fmt.Errorf("core: SplitFraction requires the controlled discipline")
 	}
 	return s, nil
+}
+
+// protocolName returns the registry selector for the system's policy.
+func (s System) protocolName() string {
+	if s.Protocol != "" {
+		return s.Protocol
+	}
+	return s.Discipline.String()
 }
 
 // Lambda returns the total message arrival rate λ′ = ρ′/(M·τ).
@@ -121,25 +189,19 @@ func (s System) Lambda() float64 {
 	return s.RhoPrime / (s.M * tau)
 }
 
-// Policy materializes the window control policy for this system.
+// Policy materializes the window control policy for this system via
+// the protocol registry.  The builtin builders reproduce the exact
+// construction this method used before the registry existed (pinned by
+// the engine goldens), so existing seeds keep their bit-identical runs.
 func (s System) Policy() (window.Policy, error) {
 	s, err := s.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	length := window.FixedG(s.WindowG)
-	switch s.Discipline {
-	case Controlled:
-		return window.Controlled{Length: length, Fraction: s.SplitFraction}, nil
-	case FCFS:
-		return window.FCFS{Length: length}, nil
-	case LCFS:
-		return window.LCFS{Length: length}, nil
-	case Random:
-		return window.Random{Length: length, Rng: rngutil.New(s.Seed ^ 0xC0FFEE)}, nil
-	default:
-		return nil, fmt.Errorf("core: unknown discipline %v", s.Discipline)
-	}
+	return protocol.Build(s.protocolName(), protocol.Params{
+		Tau: s.Tau, M: s.M, Lambda: s.Lambda(), K: s.K,
+		G: s.WindowG, SplitFraction: s.SplitFraction, Seed: s.Seed,
+	})
 }
 
 // AnalyticResult carries the model prediction for one operating point.
@@ -162,6 +224,11 @@ func (s System) AnalyticLoss() (AnalyticResult, error) {
 	s, err := s.withDefaults()
 	if err != nil {
 		return AnalyticResult{}, err
+	}
+	if s.Protocol != "" {
+		// A registered protocol outside the discipline enum: simulation
+		// only, like the Random discipline.
+		return AnalyticResult{}, fmt.Errorf("core: no analytic model for protocol %q", s.Protocol)
 	}
 	model := queueing.ProtocolModel{Tau: s.Tau, M: s.M, RhoPrime: s.RhoPrime, TxDist: s.TxLengths}
 	switch s.Discipline {
@@ -303,7 +370,7 @@ func (s System) DecisionModel() (*smdp.Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	if s.Discipline != Controlled {
+	if s.Discipline != Controlled || s.Protocol != "" {
 		return nil, fmt.Errorf("core: the decision model applies to the controlled discipline")
 	}
 	k := int(math.Round(s.K / s.Tau))

@@ -1,0 +1,94 @@
+package acdc
+
+import (
+	"fmt"
+	"math"
+
+	"windowctl/internal/protocol"
+	"windowctl/internal/window"
+)
+
+// Name is the registry name of this protocol.
+const Name = "acdc"
+
+// DefaultBudget is the fraction of the delay constraint within which a
+// message must still be admissible; the registry builder uses it.
+const DefaultBudget = 0.75
+
+// Policy is the AC/DC-RA admission-control MAC: Theorem-1 window
+// placement and older-half splitting, but the sender sheds any message
+// older than Budget·K instead of waiting for the full deadline.
+type Policy struct {
+	// Length is the element-(2) rule; required.
+	Length window.LengthRule
+	// Budget is the admitted fraction of the delay constraint, in
+	// (0,1]; 1 reproduces the paper's pure deadline discard.
+	Budget float64
+}
+
+// New builds an AC/DC-RA policy with mean window content g and the
+// given admission budget.
+func New(g, budget float64) (Policy, error) {
+	p := Policy{Budget: budget}
+	if g <= 0 || math.IsNaN(g) || math.IsInf(g, 0) {
+		return Policy{}, fmt.Errorf("acdc: need positive finite window content (got %v)", g)
+	}
+	p.Length = window.FixedG(g)
+	if err := p.ValidatePolicy(); err != nil {
+		return Policy{}, err
+	}
+	return p, nil
+}
+
+// Name implements protocol.Protocol.
+func (a Policy) Name() string { return Name }
+
+// InitialWindow implements protocol.Protocol: the window starts at the
+// admission horizon (the engines move TPast up to now − Budget·K via
+// AdmissionDelay), holding Theorem-1 placement within the admitted
+// region.
+func (a Policy) InitialWindow(v window.View) window.Window {
+	l := a.Length(v)
+	return window.Window{Start: v.TPast, End: v.TPast + l}
+}
+
+// ChooseSide implements protocol.Protocol: contention resolution is
+// traffic-agnostic — always the older half, as in the controlled
+// protocol.
+func (a Policy) ChooseSide(window.View, window.Window, int) window.Side { return window.Older }
+
+// SplitFraction implements protocol.Protocol.
+func (a Policy) SplitFraction(window.View, window.Window, int) float64 { return 0.5 }
+
+// Discards implements protocol.Protocol: admission control is
+// sender-side shedding, so element (4) is in force.
+func (a Policy) Discards() bool { return true }
+
+// AdmissionDelay implements protocol.Admission: a message is admitted
+// to contention only within Budget·K of its arrival.
+func (a Policy) AdmissionDelay(k float64) float64 { return a.Budget * k }
+
+// ValidatePolicy implements window.SelfValidating.
+func (a Policy) ValidatePolicy() error {
+	if a.Length == nil {
+		return fmt.Errorf("acdc: need a Length rule")
+	}
+	if !(a.Budget > 0 && a.Budget <= 1) {
+		return fmt.Errorf("acdc: admission budget %v outside (0,1]", a.Budget)
+	}
+	return nil
+}
+
+func init() {
+	protocol.MustRegister(protocol.Info{
+		Name:     Name,
+		Summary:  fmt.Sprintf("admission-control delay-constrained random access: controlled windows, sender sheds messages older than %g·K", DefaultBudget),
+		Citation: "Gürsu, Vilgelm, Alba, Berioli, Kellerer, arXiv:1903.11320",
+		New: func(p protocol.Params) (protocol.Protocol, error) {
+			if err := p.Validate(); err != nil {
+				return nil, err
+			}
+			return New(p.WindowContent(), DefaultBudget)
+		},
+	})
+}

@@ -1,0 +1,123 @@
+package acdc
+
+import (
+	"math"
+	"testing"
+
+	"windowctl/internal/protocol"
+	"windowctl/internal/window"
+)
+
+// The policy must satisfy the Protocol method set plus the optional
+// capabilities it advertises: admission control and self-validation.
+var (
+	_ protocol.Protocol       = Policy{}
+	_ protocol.Admission      = Policy{}
+	_ protocol.SelfValidating = Policy{}
+)
+
+func TestNew(t *testing.T) {
+	p, err := New(1.1, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Budget != 0.6 {
+		t.Errorf("Budget = %v", p.Budget)
+	}
+	if err := window.Validate(p); err != nil {
+		t.Errorf("fresh policy fails validation: %v", err)
+	}
+	for _, bad := range []struct{ g, budget float64 }{
+		{0, 0.6}, {-1, 0.6}, {math.NaN(), 0.6}, {math.Inf(1), 0.6},
+		{1.1, 0}, {1.1, -0.5}, {1.1, 1.5}, {1.1, math.NaN()},
+	} {
+		if _, err := New(bad.g, bad.budget); err == nil {
+			t.Errorf("New(%v, %v) accepted", bad.g, bad.budget)
+		}
+	}
+	// Budget 1 is the paper's pure deadline discard and is legal.
+	if _, err := New(1.1, 1); err != nil {
+		t.Errorf("Budget = 1 rejected: %v", err)
+	}
+}
+
+func TestValidatePolicy(t *testing.T) {
+	for _, bad := range []Policy{
+		{},                                      // nothing set
+		{Budget: 0.75},                          // no length rule
+		{Length: window.FixedG(1.1)},            // no budget
+		{Length: window.FixedG(1.1), Budget: 2}, // budget > 1
+		{Length: window.FixedG(1.1), Budget: -.1}, // negative budget
+	} {
+		if err := bad.ValidatePolicy(); err == nil {
+			t.Errorf("ValidatePolicy accepted %+v", bad)
+		}
+	}
+}
+
+// TestDecisions pins the per-slot contract: Theorem-1 placement over
+// the admitted region, older half first, element (4) in force.
+func TestDecisions(t *testing.T) {
+	p, _ := New(2.2, 0.75)
+	v := window.View{Now: 100, TPast: 40, Lambda: 0.1}
+	w := p.InitialWindow(v)
+	if w.Start != 40 || w.End != 40+2.2/0.1 {
+		t.Errorf("InitialWindow = %+v, want [40, %v]", w, 40+2.2/0.1)
+	}
+	if got := p.ChooseSide(v, w, 0); got != window.Older {
+		t.Errorf("ChooseSide = %v, want Older", got)
+	}
+	if got := p.SplitFraction(v, w, 0); got != 0.5 {
+		t.Errorf("SplitFraction = %v, want 0.5", got)
+	}
+	if !p.Discards() {
+		t.Error("admission-control MAC reports no sender discard")
+	}
+	if p.Name() != Name {
+		t.Errorf("Name() = %q", p.Name())
+	}
+}
+
+// TestAdmissionDelay pins the capability the engines clamp on: the
+// effective discard constraint is Budget·K, +Inf stays +Inf (the
+// engines then fall back to the plain deadline).
+func TestAdmissionDelay(t *testing.T) {
+	p, _ := New(1.1, 0.75)
+	if got := p.AdmissionDelay(50); got != 37.5 {
+		t.Errorf("AdmissionDelay(50) = %v, want 37.5", got)
+	}
+	if got := p.AdmissionDelay(math.Inf(1)); !math.IsInf(got, 1) {
+		t.Errorf("AdmissionDelay(+Inf) = %v", got)
+	}
+	full, _ := New(1.1, 1)
+	if got := full.AdmissionDelay(50); got != 50 {
+		t.Errorf("Budget 1: AdmissionDelay(50) = %v, want 50 (pure deadline)", got)
+	}
+}
+
+// TestRegistered checks the zoo entry builds with the default budget.
+func TestRegistered(t *testing.T) {
+	info, ok := protocol.Get(Name)
+	if !ok {
+		t.Fatal("acdc not registered")
+	}
+	if info.Citation == "" {
+		t.Error("zoo entry has no citation")
+	}
+	pol, err := protocol.Build(Name, protocol.Params{
+		Tau: 1, M: 25, Lambda: 0.02, K: 50, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, ok := pol.(Policy)
+	if !ok {
+		t.Fatalf("built %T, want acdc.Policy", pol)
+	}
+	if ap.Budget != DefaultBudget {
+		t.Errorf("built Budget = %v, want DefaultBudget %v", ap.Budget, DefaultBudget)
+	}
+	if _, err := protocol.Build(Name, protocol.Params{Tau: 1, M: 25, K: 50}); err == nil {
+		t.Error("builder accepted invalid Params")
+	}
+}

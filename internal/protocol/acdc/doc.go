@@ -1,0 +1,29 @@
+// Package acdc implements admission-control delay-constrained random
+// access (AC/DC-RA, Gürsu, Vilgelm, Alba, Berioli, Kellerer,
+// arXiv:1903.11320) as a protocol plugin.
+//
+// AC/DC-RA targets machine-to-machine traffic where each message has a
+// hard delay budget: instead of letting every backlogged message
+// contend until its deadline expires on the channel, the protocol
+// *admits* a message into contention only while it can still complete
+// within a configured fraction of the budget, and sheds it at the
+// sender the moment it cannot.  Shedding early keeps the contention
+// process stable under bursts — the channel is never spent on messages
+// that would miss their deadline anyway — at the cost of dropping a
+// few messages that could still (just barely) have made it.
+//
+// The mapping onto the time-window engine strengthens the paper's
+// element (4): the plugin keeps the controlled protocol's Theorem-1
+// window placement and older-half splitting (contention resolution is
+// traffic-agnostic, as AC/DC-RA requires) but discards at the sender
+// against an *admission* constraint D = Budget·K with Budget ∈ (0,1],
+// exposed through the protocol.Admission capability.  Budget = 1
+// degenerates to the paper's pure deadline discard; smaller budgets
+// trade admission drops for lower delay on admitted messages.  See
+// docs/THEORY.md for how its assumptions map onto the paper's
+// (ρ′, K, M) parameterization.
+//
+// The policy is fully deterministic — no common random sequence — so
+// multi-station runs stay in lockstep structurally, exactly like the
+// controlled protocol.
+package acdc

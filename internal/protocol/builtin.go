@@ -1,0 +1,62 @@
+package protocol
+
+import (
+	"windowctl/internal/rngutil"
+	"windowctl/internal/window"
+)
+
+// randomSeedTag is XORed into the run seed to derive the Random
+// baseline's common sequence.  It predates the registry (it was
+// hard-wired in core.System.Policy) and must never change: the 47
+// engine goldens and the sweep golden CSV pin runs seeded through it.
+const randomSeedTag = 0xC0FFEE
+
+func init() {
+	MustRegister(Info{
+		Name:     "controlled",
+		Summary:  "the paper's optimal policy: window at the discard horizon, older half first, sender-side deadline discard",
+		Citation: "Kurose, Schwartz, Yemini, SIGCOMM 1983 (Theorem 1)",
+		New: func(p Params) (Protocol, error) {
+			if err := p.Validate(); err != nil {
+				return nil, err
+			}
+			return window.Controlled{Length: window.FixedG(p.WindowContent()), Fraction: p.SplitFraction}, nil
+		},
+	})
+	MustRegister(Info{
+		Name:     "fcfs",
+		Summary:  "uncontrolled global-FCFS baseline: oldest unexamined time first, no sender discard",
+		Citation: "Kurose, Schwartz, Yemini, SIGCOMM 1983 (baseline)",
+		New: func(p Params) (Protocol, error) {
+			if err := p.Validate(); err != nil {
+				return nil, err
+			}
+			return window.FCFS{Length: window.FixedG(p.WindowContent())}, nil
+		},
+	})
+	MustRegister(Info{
+		Name:     "lcfs",
+		Summary:  "uncontrolled global-LCFS baseline: newest unexamined time first, no sender discard",
+		Citation: "Kurose, Schwartz, Yemini, SIGCOMM 1983 (baseline)",
+		New: func(p Params) (Protocol, error) {
+			if err := p.Validate(); err != nil {
+				return nil, err
+			}
+			return window.LCFS{Length: window.FixedG(p.WindowContent())}, nil
+		},
+	})
+	MustRegister(Info{
+		Name:     "random",
+		Summary:  "uncontrolled random-order baseline: window placed uniformly in the unexamined span, coin-flip splits",
+		Citation: "Kurose, Schwartz, Yemini, SIGCOMM 1983 (baseline)",
+		New: func(p Params) (Protocol, error) {
+			if err := p.Validate(); err != nil {
+				return nil, err
+			}
+			return window.Random{
+				Length: window.FixedG(p.WindowContent()),
+				Rng:    rngutil.New(p.Seed ^ randomSeedTag),
+			}, nil
+		},
+	})
+}

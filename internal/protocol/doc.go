@@ -1,0 +1,33 @@
+// Package protocol is the plugin surface of the simulator: it defines the
+// Protocol interface every multiple-access MAC in the zoo implements, a
+// registry that maps canonical protocol names to validated builders, and
+// the builtin ports of the paper's controlled window protocol and the
+// [Kurose 83] FCFS/LCFS/RANDOM baselines.
+//
+// A Protocol is the per-slot decision surface the engines drive through
+// window.Resolver: it chooses the enabled set (InitialWindow and, after a
+// collision, ChooseSide/SplitFraction), observes the common ternary
+// channel feedback through the resolver state machine, and exposes the
+// paper's element-(4) deadline-discard hook (Discards, optionally
+// tightened by the Admission capability).  Every station runs an
+// identical copy on identical feedback — implementations must therefore
+// be deterministic functions of their inputs, with any randomness drawn
+// from an explicitly seeded common sequence (window.ForkablePolicy).
+//
+// Protocols register themselves under a canonical lowercase name
+// (Register / MustRegister, usually from an init function) and are
+// instantiated per run from a Params value (Build).  Anything registered
+// here is automatically reachable from sim.Config.Protocol, the
+// figure-7 and degradation pipelines, the sweep grid's discipline axis
+// and the -protocol flag of cmd/windowsim, cmd/sweep and cmd/figures —
+// with loss curves, conservation checking, fault injection and the
+// content-addressed sweep cache for free.
+//
+// The shipped zoo lives in the subpackages tournament (Galtier's
+// constant-window tournament MAC) and acdc (admission-control
+// delay-constrained random access); subpackage zoo links them all.
+// docs/PROTOCOLS.md is the protocol-author guide: the full interface
+// contract (slot lifecycle, feedback semantics, fault-tolerant mode,
+// determinism and seeding rules, conservation invariants) and a worked
+// "write your own MAC" walkthrough.
+package protocol

@@ -1,0 +1,119 @@
+package protocol
+
+import (
+	"fmt"
+	"math"
+
+	"windowctl/internal/queueing"
+	"windowctl/internal/window"
+)
+
+// Protocol is the decision surface of one multiple-access MAC protocol.
+// Its method set is exactly window.Policy — the per-slot contract the
+// resolver state machine drives — so any Protocol plugs into all three
+// engines unchanged, and every existing window.Policy already satisfies
+// Protocol.  The methods correspond to the paper's four control
+// elements: InitialWindow is elements (1)+(2) (where the window starts
+// and how long it is), ChooseSide is element (3) (which part of a split
+// to enable first), SplitFraction is the cut point, and Discards is
+// element (4) (sender-side deadline discard).
+//
+// Feedback observation is indirect by design: the engines feed the
+// common ternary channel outcome (Idle / Success / Collision, plus
+// Erased under fault injection) into a window.Resolver, which calls
+// back into the protocol only at decision points.  A protocol therefore
+// never sees raw feedback it could mis-handle — the resolver owns the
+// split bookkeeping and the fault-tolerant recovery path, and the
+// protocol owns only the choices.  See docs/PROTOCOLS.md for the full
+// slot lifecycle.
+//
+// Implementations must be deterministic functions of (View, Window,
+// depth): every station runs an identical copy on identical feedback
+// and the engines exploit that lockstep.  Randomized protocols must
+// draw from an explicitly seeded common sequence and implement
+// window.ForkablePolicy so per-station replicas replay the same
+// decisions.
+type Protocol = window.Policy
+
+// Admission is an optional capability: a protocol that refuses service
+// to messages before they are strictly deadline-dead.  AdmissionDelay
+// returns the effective element-(4) discard constraint D given the
+// deadline k — messages older than D are dropped at the sender even
+// though they could still (just barely) make the deadline.  The engines
+// clamp the result to (0, k]; returning k (or anything outside the
+// range) keeps the paper's pure deadline discard.
+//
+// This models admission-control MACs (AC/DC-RA): shedding load early
+// keeps the contention process stable under bursts, trading a few
+// salvageable messages for bounded delay on the admitted ones.
+type Admission interface {
+	// AdmissionDelay maps the deadline k to the effective sender-side
+	// discard constraint.
+	AdmissionDelay(k float64) float64
+}
+
+// SelfValidating is an optional capability: a protocol that can check
+// its own static configuration.  window.Validate — which the engines
+// call once at start-up — invokes it for policy types it does not know
+// structurally, so third-party plugins get the same fail-fast
+// misconfiguration errors as the builtins.
+type SelfValidating = window.SelfValidating
+
+// Params carries everything a Builder may need to materialize a
+// protocol instance for one run.  The fields mirror the paper's
+// parameterization; builders ignore what they do not use.
+type Params struct {
+	// Tau is the slot time (end-to-end propagation delay); required.
+	Tau float64
+	// M is the mean message length in slots; required.
+	M float64
+	// Lambda is the network-wide message arrival rate λ′; required.
+	Lambda float64
+	// K is the delay constraint (absolute time); may be +Inf for
+	// unconstrained runs.
+	K float64
+	// G overrides the mean initial-window content (element (2)); 0
+	// selects the paper's heuristic optimum G*.
+	G float64
+	// SplitFraction overrides where windows are cut; 0 means the
+	// protocol's default (the paper's ½).  Must lie in (0,1) when set.
+	SplitFraction float64
+	// Seed drives any common random sequence the protocol carries.
+	// Builders must derive their streams from it via rngutil.Mix64 with
+	// a protocol-specific tag so distinct protocols at the same seed do
+	// not share randomness.
+	Seed uint64
+}
+
+// Validate checks the parameter ranges shared by all builders.
+func (p Params) Validate() error {
+	if p.Tau <= 0 || math.IsNaN(p.Tau) || math.IsInf(p.Tau, 0) {
+		return fmt.Errorf("protocol: need positive finite Tau (got %v)", p.Tau)
+	}
+	if p.M <= 0 || math.IsNaN(p.M) || math.IsInf(p.M, 0) {
+		return fmt.Errorf("protocol: need positive finite M (got %v)", p.M)
+	}
+	if p.Lambda <= 0 || math.IsNaN(p.Lambda) || math.IsInf(p.Lambda, 0) {
+		return fmt.Errorf("protocol: need positive finite Lambda (got %v)", p.Lambda)
+	}
+	if p.K <= 0 || math.IsNaN(p.K) {
+		return fmt.Errorf("protocol: need positive K (got %v)", p.K)
+	}
+	if p.G < 0 || math.IsNaN(p.G) || math.IsInf(p.G, 0) {
+		return fmt.Errorf("protocol: negative window content G %v", p.G)
+	}
+	if p.SplitFraction != 0 && (p.SplitFraction <= 0 || p.SplitFraction >= 1 || math.IsNaN(p.SplitFraction)) {
+		return fmt.Errorf("protocol: SplitFraction %v outside (0,1)", p.SplitFraction)
+	}
+	return nil
+}
+
+// WindowContent returns the mean initial-window content to use: G when
+// set, otherwise the paper's heuristic optimum G* (the element-(2) g
+// minimizing mean windowing time per scheduled message).
+func (p Params) WindowContent() float64 {
+	if p.G > 0 {
+		return p.G
+	}
+	return queueing.OptimalWindowContent()
+}

@@ -1,0 +1,190 @@
+package protocol
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"windowctl/internal/queueing"
+	"windowctl/internal/window"
+)
+
+// okParams is a valid builder input for the registry tests.
+func okParams() Params {
+	return Params{Tau: 1, M: 25, Lambda: 0.02, K: 50, Seed: 7}
+}
+
+// TestRegisterRejects pins the registry's admission rules: canonical
+// names only, a real builder, and no double registration.  Plugin
+// packages rely on MustRegister panicking at init time for any of these
+// mistakes instead of silently shadowing another protocol.
+func TestRegisterRejects(t *testing.T) {
+	bad := []string{
+		"",            // empty
+		"9lives",      // starts with a digit
+		"-dash",       // starts with a hyphen
+		"CamelCase",   // uppercase
+		"under_score", // underscore
+		"dot.name",    // dot
+		"sp ace",      // whitespace
+		"unié",        // non-ASCII
+	}
+	builder := func(p Params) (Protocol, error) {
+		return window.Controlled{Length: window.FixedG(1.1)}, nil
+	}
+	for _, name := range bad {
+		if err := Register(Info{Name: name, New: builder}); err == nil {
+			t.Errorf("Register accepted invalid name %q", name)
+		}
+	}
+	if err := Register(Info{Name: "nil-builder-test"}); err == nil {
+		t.Error("Register accepted a nil builder")
+	}
+
+	const name = "dup-test-proto"
+	if err := Register(Info{Name: name, New: builder}); err != nil {
+		t.Fatalf("first Register(%q): %v", name, err)
+	}
+	err := Register(Info{Name: name, New: builder})
+	if err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate Register(%q) returned %v, want already-registered error", name, err)
+	}
+}
+
+// TestBuiltinsRegistered checks that the four classic disciplines are
+// present, sorted, and build the exact pre-registry policy types.
+func TestBuiltinsRegistered(t *testing.T) {
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted/unique: %v", names)
+		}
+	}
+	wantType := map[string]string{
+		"controlled": "controlled",
+		"fcfs":       "fcfs",
+		"lcfs":       "lcfs",
+		"random":     "random",
+	}
+	for name, want := range wantType {
+		info, ok := Get(name)
+		if !ok {
+			t.Fatalf("builtin %q not registered (have %v)", name, names)
+		}
+		if info.Citation == "" || info.Summary == "" {
+			t.Errorf("builtin %q missing zoo metadata: %+v", name, info)
+		}
+		pol, err := Build(name, okParams())
+		if err != nil {
+			t.Fatalf("Build(%q): %v", name, err)
+		}
+		if pol.Name() != want {
+			t.Errorf("Build(%q).Name() = %q", name, pol.Name())
+		}
+		if err := window.Validate(pol); err != nil {
+			t.Errorf("built %q fails window.Validate: %v", name, err)
+		}
+	}
+	for _, name := range names {
+		infos := Infos()
+		found := false
+		for _, info := range infos {
+			if info.Name == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("name %q missing from Infos()", name)
+		}
+	}
+}
+
+// TestBuildErrors pins the Build failure modes: unknown names list the
+// registered ones, builder errors are wrapped with the protocol name,
+// and a nil protocol from a buggy builder is rejected.
+func TestBuildErrors(t *testing.T) {
+	_, err := Build("no-such-protocol", okParams())
+	if err == nil || !strings.Contains(err.Error(), `unknown protocol "no-such-protocol"`) {
+		t.Fatalf("unknown-name error: %v", err)
+	}
+	if !strings.Contains(err.Error(), "controlled") {
+		t.Errorf("unknown-name error does not list registrations: %v", err)
+	}
+
+	// Builders get invalid Params and must reject them (all builtins
+	// route through Params.Validate).
+	badParams := okParams()
+	badParams.Lambda = 0
+	if _, err := Build("controlled", badParams); err == nil {
+		t.Error("Build(controlled) accepted Lambda = 0")
+	}
+
+	sentinel := errors.New("boom")
+	MustRegister(Info{Name: "erroring-test-proto", New: func(Params) (Protocol, error) {
+		return nil, sentinel
+	}})
+	_, err = Build("erroring-test-proto", okParams())
+	if !errors.Is(err, sentinel) {
+		t.Errorf("builder error not wrapped: %v", err)
+	}
+
+	MustRegister(Info{Name: "nil-return-test-proto", New: func(Params) (Protocol, error) {
+		return nil, nil
+	}})
+	_, err = Build("nil-return-test-proto", okParams())
+	if err == nil || !strings.Contains(err.Error(), "nil protocol") {
+		t.Errorf("nil-returning builder not rejected: %v", err)
+	}
+}
+
+// TestParamsValidate walks the shared parameter ranges every builder
+// inherits.
+func TestParamsValidate(t *testing.T) {
+	if err := okParams().Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	inf := math.Inf(1)
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"tau zero", func(p *Params) { p.Tau = 0 }},
+		{"tau inf", func(p *Params) { p.Tau = inf }},
+		{"m negative", func(p *Params) { p.M = -1 }},
+		{"lambda zero", func(p *Params) { p.Lambda = 0 }},
+		{"lambda nan", func(p *Params) { p.Lambda = math.NaN() }},
+		{"k zero", func(p *Params) { p.K = 0 }},
+		{"k nan", func(p *Params) { p.K = math.NaN() }},
+		{"g negative", func(p *Params) { p.G = -0.5 }},
+		{"g inf", func(p *Params) { p.G = inf }},
+		{"split 1", func(p *Params) { p.SplitFraction = 1 }},
+		{"split negative", func(p *Params) { p.SplitFraction = -0.25 }},
+	}
+	for _, c := range cases {
+		p := okParams()
+		c.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: accepted %+v", c.name, p)
+		}
+	}
+	// +Inf K means an unconstrained run and is legal.
+	p := okParams()
+	p.K = inf
+	if err := p.Validate(); err != nil {
+		t.Errorf("K = +Inf rejected: %v", err)
+	}
+}
+
+// TestWindowContent pins the element-(2) default: G when set, the
+// paper's heuristic optimum G* otherwise.
+func TestWindowContent(t *testing.T) {
+	p := okParams()
+	if got, want := p.WindowContent(), queueing.OptimalWindowContent(); got != want {
+		t.Errorf("default window content %v, want G* = %v", got, want)
+	}
+	p.G = 2.5
+	if got := p.WindowContent(); got != 2.5 {
+		t.Errorf("explicit G ignored: got %v", got)
+	}
+}

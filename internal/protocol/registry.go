@@ -1,0 +1,131 @@
+package protocol
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Builder materializes a protocol instance for one run.  Builders must
+// validate their inputs (returning an error, never panicking) and must
+// construct any random stream from Params.Seed alone so a given
+// (name, Params) pair always yields bit-identical behavior.
+type Builder func(p Params) (Protocol, error)
+
+// Info describes one registered protocol: the canonical name it is
+// selected by (sim.Config.Protocol, the CLIs' -protocol flag, the sweep
+// discipline axis), a one-line summary and literature citation for the
+// zoo table, and the builder.
+type Info struct {
+	// Name is the canonical selector: lowercase letters, digits and
+	// hyphens, starting with a letter.  Required, unique.
+	Name string
+	// Summary is a one-line description of the protocol's behavior.
+	Summary string
+	// Citation names the source (paper or report) the protocol comes
+	// from; empty for ad-hoc protocols.
+	Citation string
+	// New builds an instance; required.
+	New Builder
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Info{}
+)
+
+// validName reports whether a protocol name is canonical: non-empty,
+// lowercase letters/digits/hyphens, starting with a letter.  The
+// grammar keeps names safe as CLI flag values, comma-list elements and
+// sweep cache-key components.
+func validName(name string) bool {
+	if name == "" || name[0] < 'a' || name[0] > 'z' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+		case c >= '0' && c <= '9':
+		case c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Register adds a protocol to the registry.  It rejects empty or
+// non-canonical names, duplicate registrations, and nil builders.
+func Register(info Info) error {
+	if !validName(info.Name) {
+		return fmt.Errorf("protocol: invalid protocol name %q (want lowercase letters/digits/hyphens, starting with a letter)", info.Name)
+	}
+	if info.New == nil {
+		return fmt.Errorf("protocol: protocol %q has a nil builder", info.Name)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[info.Name]; dup {
+		return fmt.Errorf("protocol: protocol %q already registered", info.Name)
+	}
+	registry[info.Name] = info
+	return nil
+}
+
+// MustRegister is Register for init functions: it panics on error.
+func MustRegister(info Info) {
+	if err := Register(info); err != nil {
+		panic(err)
+	}
+}
+
+// Get looks a protocol up by name.
+func Get(name string) (Info, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	info, ok := registry[name]
+	return info, ok
+}
+
+// Names returns all registered protocol names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Infos returns all registered protocols sorted by name (for zoo
+// tables and -h listings).
+func Infos() []Info {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	infos := make([]Info, 0, len(registry))
+	for _, info := range registry {
+		infos = append(infos, info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// Build instantiates the named protocol from the given parameters.
+func Build(name string, p Params) (Protocol, error) {
+	info, ok := Get(name)
+	if !ok {
+		return nil, fmt.Errorf("protocol: unknown protocol %q (registered: %s)", name, strings.Join(Names(), ", "))
+	}
+	pol, err := info.New(p)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: building %q: %w", name, err)
+	}
+	if pol == nil {
+		return nil, fmt.Errorf("protocol: builder for %q returned a nil protocol", name)
+	}
+	return pol, nil
+}

@@ -1,0 +1,29 @@
+// Package tournament implements Galtier's constant-window tournament
+// MAC (INRIA RR-6396, Orange Labs 2007) as a protocol plugin.
+//
+// In Galtier's scheme contenders resolve a collision by a tournament:
+// each round, every surviving contender flips a fair coin and only one
+// cohort advances, until a single winner transmits.  The congestion
+// window is held *constant* — the protocol never adapts window size to
+// the backlog, which is exactly what makes it cheap to implement and
+// interesting as a competitor to the paper's load-adaptive controlled
+// window.
+//
+// The mapping onto the time-window engine is exact, not approximate:
+// under Poisson arrivals the messages inside any window are i.i.d.
+// uniform over it, so halving a window assigns each contender to a
+// side by an independent fair coin — a window split with a randomly
+// chosen side IS one tournament round.  The plugin therefore enables a
+// constant-length window (G/λ of arrival time, so the expected number
+// of contenders per tournament stays at G) and plays each round by a
+// common seeded coin flip.  Unlike the controlled protocol it neither
+// tracks the backlog horizon (beyond the resolver's shared interval
+// bookkeeping) nor discards at the sender: losses are pure deadline
+// expiries, as in Galtier's WLAN setting where the MAC has no deadline
+// knowledge.  See docs/THEORY.md for how its assumptions map onto the
+// paper's (ρ′, K, M) parameterization.
+//
+// All stations share the coin sequence (window.ForkablePolicy), so the
+// multi-station engine keeps them in lockstep the same way it does the
+// RANDOM baseline.
+package tournament

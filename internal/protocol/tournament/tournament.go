@@ -1,0 +1,103 @@
+package tournament
+
+import (
+	"fmt"
+	"math"
+
+	"windowctl/internal/protocol"
+	"windowctl/internal/rngutil"
+	"windowctl/internal/window"
+)
+
+// Name is the registry name of this protocol.
+const Name = "tournament"
+
+// seedTag is mixed into the run seed to derive the tournament coin
+// sequence, keeping it distinct from every other protocol's randomness
+// at the same seed.
+const seedTag = 0x707e4a3e27a1c0de
+
+// Policy is the constant-window tournament MAC.  The initial window
+// always covers the oldest Length's worth of arrival time and each
+// split side is decided by a common fair coin — one tournament round
+// per split.  There is no sender-side discard.
+type Policy struct {
+	// Length is the constant window length (arrival-time span per
+	// tournament); required.
+	Length float64
+	// Rng is the common coin sequence shared by all stations; required.
+	Rng *rngutil.Stream
+}
+
+// New builds a tournament policy whose constant window holds G
+// expected contenders at arrival rate lambda, with the coin sequence
+// derived from seed.
+func New(g, lambda float64, seed uint64) (Policy, error) {
+	if g <= 0 || math.IsNaN(g) || math.IsInf(g, 0) {
+		return Policy{}, fmt.Errorf("tournament: need positive finite window content (got %v)", g)
+	}
+	if lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return Policy{}, fmt.Errorf("tournament: need positive finite lambda (got %v)", lambda)
+	}
+	return Policy{
+		Length: g / lambda,
+		Rng:    rngutil.New(rngutil.Mix64(seed, seedTag)),
+	}, nil
+}
+
+// Name implements protocol.Protocol.
+func (t Policy) Name() string { return Name }
+
+// InitialWindow implements protocol.Protocol: a constant-length window
+// over the oldest unexamined arrival time.  The engine clamps the end
+// to the present.
+func (t Policy) InitialWindow(v window.View) window.Window {
+	return window.Window{Start: v.TPast, End: v.TPast + t.Length}
+}
+
+// ChooseSide implements protocol.Protocol: each split is one
+// tournament round, decided by the common fair coin.
+func (t Policy) ChooseSide(window.View, window.Window, int) window.Side {
+	if t.Rng.Bernoulli(0.5) {
+		return window.Older
+	}
+	return window.Newer
+}
+
+// SplitFraction implements protocol.Protocol: fair tournaments halve.
+func (t Policy) SplitFraction(window.View, window.Window, int) float64 { return 0.5 }
+
+// Discards implements protocol.Protocol: the MAC has no deadline
+// knowledge, so element (4) is off and losses are deadline expiries.
+func (t Policy) Discards() bool { return false }
+
+// Fork implements window.ForkablePolicy: replicas share the coin
+// sequence so per-station copies stay in lockstep.
+func (t Policy) Fork() window.Policy {
+	return Policy{Length: t.Length, Rng: t.Rng.Clone()}
+}
+
+// ValidatePolicy implements window.SelfValidating.
+func (t Policy) ValidatePolicy() error {
+	if t.Length <= 0 || math.IsNaN(t.Length) || math.IsInf(t.Length, 0) {
+		return fmt.Errorf("tournament: need positive finite window length (got %v)", t.Length)
+	}
+	if t.Rng == nil {
+		return fmt.Errorf("tournament: need a common coin sequence (Rng)")
+	}
+	return nil
+}
+
+func init() {
+	protocol.MustRegister(protocol.Info{
+		Name:     Name,
+		Summary:  "constant-window tournament MAC: fixed window size, coin-flip splits, no sender discard",
+		Citation: "Galtier, INRIA RR-6396 / Orange Labs, 2007",
+		New: func(p protocol.Params) (protocol.Protocol, error) {
+			if err := p.Validate(); err != nil {
+				return nil, err
+			}
+			return New(p.WindowContent(), p.Lambda, p.Seed)
+		},
+	})
+}

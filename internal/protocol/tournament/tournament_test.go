@@ -1,0 +1,154 @@
+package tournament
+
+import (
+	"math"
+	"testing"
+
+	"windowctl/internal/protocol"
+	"windowctl/internal/window"
+)
+
+// The policy must satisfy the full plugin surface: the Protocol method
+// set, per-station forking, and self-validation.
+var (
+	_ protocol.Protocol       = Policy{}
+	_ window.ForkablePolicy   = Policy{}
+	_ protocol.SelfValidating = Policy{}
+)
+
+func TestNew(t *testing.T) {
+	p, err := New(1.1, 0.02, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.Length, 1.1/0.02; got != want {
+		t.Errorf("Length = %v, want g/lambda = %v", got, want)
+	}
+	if err := window.Validate(p); err != nil {
+		t.Errorf("fresh policy fails validation: %v", err)
+	}
+	for _, bad := range []struct{ g, lambda float64 }{
+		{0, 0.02}, {-1, 0.02}, {math.NaN(), 0.02}, {math.Inf(1), 0.02},
+		{1.1, 0}, {1.1, -3}, {1.1, math.NaN()}, {1.1, math.Inf(1)},
+	} {
+		if _, err := New(bad.g, bad.lambda, 7); err == nil {
+			t.Errorf("New(%v, %v) accepted", bad.g, bad.lambda)
+		}
+	}
+}
+
+func TestValidatePolicy(t *testing.T) {
+	good, _ := New(1.1, 0.02, 7)
+	if err := good.ValidatePolicy(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Policy{
+		{},                                   // nothing set
+		{Length: 55},                         // no coin sequence
+		{Length: -1, Rng: good.Rng},          // negative window
+		{Length: math.NaN(), Rng: good.Rng},  // NaN window
+		{Length: math.Inf(1), Rng: good.Rng}, // infinite window
+	} {
+		if err := bad.ValidatePolicy(); err == nil {
+			t.Errorf("ValidatePolicy accepted %+v", bad)
+		}
+	}
+}
+
+// TestDecisions pins the per-slot contract: a constant window over the
+// unexamined past, fair splits, no element-(4) discard.
+func TestDecisions(t *testing.T) {
+	p, _ := New(2.0, 0.1, 7)
+	v := window.View{Now: 100, TPast: 30}
+	w := p.InitialWindow(v)
+	if w.Start != 30 || w.End != 50 {
+		t.Errorf("InitialWindow = %+v, want [30, 50] (TPast + g/lambda)", w)
+	}
+	if got := p.SplitFraction(v, w, 0); got != 0.5 {
+		t.Errorf("SplitFraction = %v, want 0.5", got)
+	}
+	if p.Discards() {
+		t.Error("tournament MAC claims element-(4) discards")
+	}
+	if p.Name() != Name {
+		t.Errorf("Name() = %q", p.Name())
+	}
+}
+
+// TestCoinDeterminism pins the seeded coin: the same seed replays the
+// same side sequence, a different seed diverges somewhere, and a fork
+// stays in lockstep with its original — the property the multi-station
+// engine's per-station replicas rely on.
+func TestCoinDeterminism(t *testing.T) {
+	const n = 256
+	v := window.View{Now: 100, TPast: 30}
+	w := window.Window{Start: 30, End: 50}
+	draw := func(p Policy) []window.Side {
+		sides := make([]window.Side, n)
+		for i := range sides {
+			sides[i] = p.ChooseSide(v, w, i)
+		}
+		return sides
+	}
+
+	a, _ := New(2.0, 0.1, 42)
+	b, _ := New(2.0, 0.1, 42)
+	fork := a.Fork().(Policy)
+	sa, sfork, sb := draw(a), draw(fork), draw(b)
+	diverged := false
+	for i := 0; i < n; i++ {
+		if sa[i] != sb[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+		if sa[i] != sfork[i] {
+			t.Fatalf("fork left lockstep at draw %d", i)
+		}
+		if sa[i] != window.Older {
+			diverged = true // saw at least one Newer: the coin is live
+		}
+	}
+	if !diverged {
+		t.Error("256 coin flips all landed Older — coin looks constant")
+	}
+
+	other, _ := New(2.0, 0.1, 43)
+	so := draw(other)
+	same := true
+	for i := 0; i < n; i++ {
+		if sa[i] != so[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical 256-flip sequence")
+	}
+}
+
+// TestRegistered checks the zoo entry: the builder derives the window
+// from (G, lambda) and the coin from the run seed.
+func TestRegistered(t *testing.T) {
+	info, ok := protocol.Get(Name)
+	if !ok {
+		t.Fatal("tournament not registered")
+	}
+	if info.Citation == "" {
+		t.Error("zoo entry has no citation")
+	}
+	pol, err := protocol.Build(Name, protocol.Params{
+		Tau: 1, M: 25, Lambda: 0.02, K: 50, G: 1.3, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, ok := pol.(Policy)
+	if !ok {
+		t.Fatalf("built %T, want tournament.Policy", pol)
+	}
+	if got, want := tp.Length, 1.3/0.02; got != want {
+		t.Errorf("built Length = %v, want G/lambda = %v", got, want)
+	}
+	if _, err := protocol.Build(Name, protocol.Params{Tau: 1, M: 25, K: 50}); err == nil {
+		t.Error("builder accepted invalid Params")
+	}
+}

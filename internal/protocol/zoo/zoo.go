@@ -1,0 +1,15 @@
+// Package zoo links every shipped protocol plugin into the registry.
+// Importing it (for side effects) makes the full MAC zoo — the
+// builtins plus tournament and acdc — reachable by name from
+// sim.Config.Protocol, core.System, the sweep discipline axis and the
+// CLIs' -protocol flag.  internal/core imports it, so anything built
+// on the facade gets the zoo transitively.
+package zoo
+
+import (
+	// The builtins (controlled, fcfs, lcfs, random) register from
+	// internal/protocol itself; the plugins register from their own
+	// packages.
+	_ "windowctl/internal/protocol/acdc"
+	_ "windowctl/internal/protocol/tournament"
+)

@@ -9,7 +9,6 @@ import (
 	"windowctl/internal/metrics"
 	"windowctl/internal/queueing"
 	"windowctl/internal/rngutil"
-	"windowctl/internal/window"
 )
 
 // DefaultErrorRates is the standard feedback-error grid of the
@@ -18,9 +17,10 @@ import (
 var DefaultErrorRates = []float64{0, 0.01, 0.02, 0.05, 0.1, 0.2}
 
 // DegradationOptions parameterizes DegradationPanels.  The embedded
-// SimOptions keep their meaning (horizon, seed, metrics, workers);
-// Disable and Baselines are ignored — the degradation mode simulates the
-// controlled protocol only.
+// SimOptions keep their meaning (horizon, seed, metrics, workers,
+// protocol — Protocol swaps which registered protocol degrades);
+// Disable and Baselines are ignored — the degradation mode simulates
+// one protocol only.
 type DegradationOptions struct {
 	SimOptions
 	// ErrorRates is the feedback-error grid ε; empty means
@@ -68,6 +68,9 @@ type DegradationPanel struct {
 	Spec  PanelSpec
 	Rates []float64
 	Rows  []DegradationRow
+	// Protocol names the protocol that degraded (SimOptions.Protocol;
+	// "controlled" when it was left empty).
+	Protocol string
 }
 
 // DegradationPanels evaluates loss-versus-feedback-error curves for the
@@ -98,6 +101,10 @@ func DegradationPanels(specs []PanelSpec, opt DegradationOptions) ([]Degradation
 		return nil, err
 	}
 
+	simProto := opt.Protocol
+	if simProto == "" {
+		simProto = "controlled"
+	}
 	panels := make([]DegradationPanel, len(specs))
 	var jobs []func() error
 	for pi := range specs {
@@ -120,7 +127,7 @@ func DegradationPanels(specs []PanelSpec, opt DegradationOptions) ([]Degradation
 		}
 
 		rows := make([]DegradationRow, len(spec.KOverM))
-		panels[pi] = DegradationPanel{Spec: spec, Rates: append([]float64(nil), rates...)}
+		panels[pi] = DegradationPanel{Spec: spec, Rates: append([]float64(nil), rates...), Protocol: simProto}
 		panels[pi].Rows = rows
 		for i, km := range spec.KOverM {
 			i := i
@@ -135,8 +142,12 @@ func DegradationPanels(specs []PanelSpec, opt DegradationOptions) ([]Degradation
 			for j, rate := range rates {
 				j, rate := j, rate
 				jobs = append(jobs, func() error {
+					pol, err := simPolicy(simProto, spec, lambda, k, gStar, simSeed)
+					if err != nil {
+						return fmt.Errorf("panel rho'=%v M=%v: %w", spec.RhoPrime, spec.M, err)
+					}
 					cfg := Config{
-						Policy: window.Controlled{Length: window.FixedG(gStar)},
+						Policy: pol,
 						Tau:    spec.Tau, M: spec.M, Lambda: lambda, K: k,
 						EndTime: endTime, Warmup: warmup, Seed: simSeed,
 						Faults: fault.Config{Rates: mix.Scale(rate), Seed: faultSeed},
@@ -171,8 +182,8 @@ func DegradationPanels(specs []PanelSpec, opt DegradationOptions) ([]Degradation
 // constraint, one loss column per feedback-error rate.
 func (p DegradationPanel) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Degradation curve: rho'=%.2f  M=%g  (loss fraction vs. feedback-error rate)\n",
-		p.Spec.RhoPrime, p.Spec.M)
+	fmt.Fprintf(&b, "Degradation curve: rho'=%.2f  M=%g  (loss fraction vs. feedback-error rate)%s\n",
+		p.Spec.RhoPrime, p.Spec.M, degradationNote(p.Protocol))
 	fmt.Fprintf(&b, "%8s", "K/M")
 	for _, r := range p.Rates {
 		fmt.Fprintf(&b, " %12s", fmt.Sprintf("eps=%g", r))
@@ -186,6 +197,15 @@ func (p DegradationPanel) Format() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// degradationNote annotates table titles when a zoo protocol degraded
+// instead of the paper's controlled protocol.
+func degradationNote(name string) string {
+	if name == "" || name == "controlled" {
+		return ""
+	}
+	return fmt.Sprintf("  [protocol: %s]", name)
 }
 
 // FaultTable renders the fault and recovery counters of the panel's

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"windowctl/internal/metrics"
+	"windowctl/internal/protocol"
 	"windowctl/internal/queueing"
 	"windowctl/internal/rngutil"
 	"windowctl/internal/window"
@@ -84,6 +85,9 @@ type Point struct {
 type Panel struct {
 	Spec   PanelSpec
 	Points []Point
+	// Protocol names the protocol the Sim* main curve ran
+	// (SimOptions.Protocol; "controlled" when it was left empty).
+	Protocol string
 }
 
 // SimOptions controls the simulation side of the harness.
@@ -112,6 +116,12 @@ type SimOptions struct {
 	// bit-identical at every worker count: each item's random stream is
 	// derived from the item's identity, never from scheduling order.
 	Workers int
+	// Protocol selects which registered protocol (see internal/protocol)
+	// the main simulated curve runs; empty means "controlled", keeping
+	// the paper's pipeline bit-identical to before the plugin registry
+	// existed.  The analytic curves and the FCFS/LCFS baselines are
+	// unaffected — they are the fixed comparison yardstick.
+	Protocol string
 }
 
 // Work-item protocol tags mixed into per-item seeds.  The values are part
@@ -138,6 +148,17 @@ func itemSeed(seed uint64, spec PanelSpec, kIndex, proto int) uint64 {
 		uint64(kIndex),
 		uint64(proto),
 	)
+}
+
+// simPolicy materializes one simulation work item's protocol through
+// the plugin registry.  The builtin builders reproduce the pre-registry
+// construction exactly (pinned by the engine goldens), so routing the
+// controlled curve and the FCFS/LCFS baselines through here changes no
+// bits; named zoo protocols slot into the same pipeline.
+func simPolicy(name string, spec PanelSpec, lambda, k, gStar float64, seed uint64) (window.Policy, error) {
+	return protocol.Build(name, protocol.Params{
+		Tau: spec.Tau, M: spec.M, Lambda: lambda, K: k, G: gStar, Seed: seed,
+	})
 }
 
 // runJobs executes the jobs over a bounded worker pool and returns the
@@ -188,6 +209,10 @@ func runJobs(jobs []func() error, workers int) error {
 // bit-identical to sequential evaluation (Workers: 1); see
 // SimOptions.Workers.  This is the driver behind cmd/figures -parallel.
 func Figure7Panels(specs []PanelSpec, opt SimOptions) ([]Panel, error) {
+	simProto := opt.Protocol
+	if simProto == "" {
+		simProto = "controlled"
+	}
 	panels := make([]Panel, len(specs))
 	var jobs []func() error
 
@@ -206,7 +231,7 @@ func Figure7Panels(specs []PanelSpec, opt SimOptions) ([]Panel, error) {
 				SimControlled: math.NaN(), SimLo: math.NaN(), SimHi: math.NaN(),
 				SimFCFS: math.NaN(), SimLCFS: math.NaN()}
 		}
-		panels[pi] = Panel{Spec: spec, Points: pts}
+		panels[pi] = Panel{Spec: spec, Points: pts, Protocol: simProto}
 
 		// One analytic job per panel: all three curves ride the batched
 		// multi-K solver, sharing convolution series across the grid.
@@ -256,16 +281,20 @@ func Figure7Panels(specs []PanelSpec, opt SimOptions) ([]Panel, error) {
 			}
 			jobs = append(jobs, func() error {
 				cfg := base
-				cfg.Policy = window.Controlled{Length: window.FixedG(gStar)}
 				cfg.Seed = itemSeed(opt.Seed, spec, i, protoControlled)
+				pol, err := simPolicy(simProto, spec, lambda, ks[i], gStar, cfg.Seed)
+				if err != nil {
+					return fmt.Errorf("panel rho'=%v M=%v: %w", spec.RhoPrime, spec.M, err)
+				}
+				cfg.Policy = pol
 				sm := newCollector(cfg.K)
 				if sm != nil {
 					cfg.Collector = sm
 				}
 				rep, err := RunGlobal(cfg)
 				if err != nil {
-					return fmt.Errorf("panel rho'=%v M=%v: controlled simulation at K=%v: %w",
-						spec.RhoPrime, spec.M, ks[i], err)
+					return fmt.Errorf("panel rho'=%v M=%v: %s simulation at K=%v: %w",
+						spec.RhoPrime, spec.M, simProto, ks[i], err)
 				}
 				pts[i].SimControlled = rep.Loss()
 				pts[i].SimLo, pts[i].SimHi = rep.LossCI(0.95)
@@ -277,8 +306,12 @@ func Figure7Panels(specs []PanelSpec, opt SimOptions) ([]Panel, error) {
 			}
 			jobs = append(jobs, func() error {
 				cfg := base
-				cfg.Policy = window.FCFS{Length: window.FixedG(gStar)}
 				cfg.Seed = itemSeed(opt.Seed, spec, i, protoFCFS)
+				pol, err := simPolicy("fcfs", spec, lambda, ks[i], gStar, cfg.Seed)
+				if err != nil {
+					return err
+				}
+				cfg.Policy = pol
 				sm := newCollector(cfg.K)
 				if sm != nil {
 					cfg.Collector = sm
@@ -293,8 +326,12 @@ func Figure7Panels(specs []PanelSpec, opt SimOptions) ([]Panel, error) {
 			})
 			jobs = append(jobs, func() error {
 				cfg := base
-				cfg.Policy = window.LCFS{Length: window.FixedG(gStar)}
 				cfg.Seed = itemSeed(opt.Seed, spec, i, protoLCFS)
+				pol, err := simPolicy("lcfs", spec, lambda, ks[i], gStar, cfg.Seed)
+				if err != nil {
+					return err
+				}
+				cfg.Policy = pol
 				sm := newCollector(cfg.K)
 				if sm != nil {
 					cfg.Collector = sm
@@ -332,10 +369,10 @@ func Figure7Panel(spec PanelSpec, opt SimOptions) (Panel, error) {
 // listed below the table.
 func (p Panel) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Figure 7 panel: rho'=%.2f  M=%g  (loss fraction vs. constraint K)\n",
-		p.Spec.RhoPrime, p.Spec.M)
+	fmt.Fprintf(&b, "Figure 7 panel: rho'=%.2f  M=%g  (loss fraction vs. constraint K)%s\n",
+		p.Spec.RhoPrime, p.Spec.M, p.protocolNote())
 	fmt.Fprintf(&b, "%8s %10s %12s %12s %12s %14s %12s %12s\n",
-		"K/M", "K", "controlled", "fcfs", "lcfs", "sim(ctrl)", "sim(fcfs)", "sim(lcfs)")
+		"K/M", "K", "controlled", "fcfs", "lcfs", p.simLabel(), "sim(fcfs)", "sim(lcfs)")
 	for _, pt := range p.Points {
 		fmt.Fprintf(&b, "%8.2f %10.1f %12.5f %12s %12s %14s %12s %12s\n",
 			pt.KOverM, pt.K, pt.Controlled,
@@ -362,8 +399,12 @@ func (p Panel) Format() string {
 // table says so when nothing was collected.
 func (p Panel) MetricsTable() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Slot metrics: rho'=%.2f  M=%g  (per simulated run; invariants verified)\n",
-		p.Spec.RhoPrime, p.Spec.M)
+	fmt.Fprintf(&b, "Slot metrics: rho'=%.2f  M=%g  (per simulated run; invariants verified)%s\n",
+		p.Spec.RhoPrime, p.Spec.M, p.protocolNote())
+	mainLabel := p.Protocol
+	if mainLabel == "" {
+		mainLabel = "controlled"
+	}
 	fmt.Fprintf(&b, "%8s %-10s %10s %10s %10s %8s %8s %10s %10s %10s\n",
 		"K/M", "protocol", "idle", "success", "collision", "splits", "util",
 		"discards", "disc.frac", "loss")
@@ -373,7 +414,7 @@ func (p Panel) MetricsTable() string {
 			name string
 			sm   *metrics.SlotMetrics
 		}{
-			{"controlled", pt.ControlledMetrics},
+			{mainLabel, pt.ControlledMetrics},
 			{"fcfs", pt.FCFSMetrics},
 			{"lcfs", pt.LCFSMetrics},
 		} {
@@ -392,6 +433,23 @@ func (p Panel) MetricsTable() string {
 		b.WriteString("(no metrics collected — run with SimOptions.Metrics / -metrics)\n")
 	}
 	return b.String()
+}
+
+// protocolNote annotates table titles when the simulated curve ran a
+// zoo protocol instead of the paper's controlled protocol.
+func (p Panel) protocolNote() string {
+	if p.Protocol == "" || p.Protocol == "controlled" {
+		return ""
+	}
+	return fmt.Sprintf("  [sim protocol: %s]", p.Protocol)
+}
+
+// simLabel is the column header of the main simulated curve.
+func (p Panel) simLabel() string {
+	if p.Protocol == "" || p.Protocol == "controlled" {
+		return "sim(ctrl)"
+	}
+	return "sim(" + p.Protocol + ")"
 }
 
 func fmtLoss(v float64) string {

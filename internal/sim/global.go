@@ -15,8 +15,15 @@ import (
 
 // Config parameterizes a simulation run in the paper's units.
 type Config struct {
-	// Policy is the window control policy under test; required.
+	// Policy is the window control policy under test.  Exactly one of
+	// Policy and Protocol must be set.
 	Policy window.Policy
+	// Protocol selects a registered protocol plugin by name (see
+	// internal/protocol) instead of a concrete Policy value.  It is
+	// materialized at validation time from this configuration's
+	// (Tau, M, Lambda, K, Seed), so replications and sweep points each
+	// get their own correctly seeded instance.
+	Protocol string
 	// Tau is the slot time (propagation delay); must be positive.
 	Tau float64
 	// M is the message length in slots; transmission takes M·τ.
@@ -69,7 +76,10 @@ type Config struct {
 	Faults fault.Config
 }
 
-func (c Config) validate() error {
+func (c *Config) validate() error {
+	if err := c.resolveProtocol(); err != nil {
+		return err
+	}
 	if c.Policy == nil {
 		return fmt.Errorf("sim: missing policy")
 	}
@@ -159,7 +169,7 @@ func newGlobalState(cfg Config) (*globalState, error) {
 	g := &globalState{
 		cfg:     cfg,
 		rng:     rngutil.New(cfg.Seed),
-		tracker: window.NewTracker(0, cfg.K, cfg.Policy.Discards()),
+		tracker: window.NewTracker(0, discardConstraint(cfg.Policy, cfg.K), cfg.Policy.Discards()),
 		col:     metrics.OrNop(cfg.Collector),
 		fo:      metrics.FaultObserverOrNop(cfg.Collector),
 	}

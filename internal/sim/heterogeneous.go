@@ -139,7 +139,7 @@ func RunHeterogeneous(cfg HeterogeneousConfig) (HeterogeneousReport, error) {
 		}
 		h.transforms = append(h.transforms, tr)
 	}
-	h.tracker = window.NewTracker(0, cfg.K, cfg.Policy.Discards())
+	h.tracker = window.NewTracker(0, discardConstraint(cfg.Policy, cfg.K), cfg.Policy.Discards())
 	h.maxBacklog = cfg.MaxBacklog
 	if h.maxBacklog <= 0 {
 		h.maxBacklog = 1 << 20

@@ -190,7 +190,7 @@ func newMultiState(cfg MultiConfig) (*multiState, error) {
 	}
 	bank.Observe(cfg.Collector)
 	m.bank = bank
-	m.tracker = window.NewTracker(0, cfg.K, cfg.Policy.Discards())
+	m.tracker = window.NewTracker(0, discardConstraint(cfg.Policy, cfg.K), cfg.Policy.Discards())
 	// The shared policy replica forks exactly like the per-station
 	// replicas of the reference engine, so common-randomness draws match
 	// it sequence for sequence.

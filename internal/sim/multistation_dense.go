@@ -117,7 +117,7 @@ func runMultiDense(cfg MultiConfig) (Report, error) {
 		st := station.New(i, proc, root.Spawn(), &nextID)
 		st.Observe(cfg.Collector)
 		m.stations = append(m.stations, st)
-		m.trackers = append(m.trackers, window.NewTracker(0, cfg.K, cfg.Policy.Discards()))
+		m.trackers = append(m.trackers, window.NewTracker(0, discardConstraint(cfg.Policy, cfg.K), cfg.Policy.Discards()))
 		// A policy carrying common randomness is replicated per station:
 		// each replica makes the same draw sequence, as real stations
 		// seeded with one agreed value would.

@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"windowctl/internal/protocol"
+	"windowctl/internal/window"
+)
+
+// resolveProtocol materializes Config.Protocol into Config.Policy via
+// the plugin registry.  It is a no-op when Protocol is empty, and
+// setting both fields is an error — a name would silently shadow (or
+// be shadowed by) the concrete value otherwise.
+func (c *Config) resolveProtocol() error {
+	if c.Protocol == "" {
+		return nil
+	}
+	if c.Policy != nil {
+		return fmt.Errorf("sim: set Policy or Protocol, not both (got policy %q and protocol %q)", c.Policy.Name(), c.Protocol)
+	}
+	pol, err := protocol.Build(c.Protocol, protocol.Params{
+		Tau: c.Tau, M: c.M, Lambda: c.Lambda, K: c.K, Seed: c.Seed,
+	})
+	if err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	c.Policy = pol
+	return nil
+}
+
+// discardConstraint returns the effective element-(4) constraint the
+// discard tracker enforces: protocols with the protocol.Admission
+// capability may tighten the deadline k to an admission horizon; the
+// result is clamped to (0, k] so a misbehaving plugin cannot widen the
+// paper's guarantee or break the tracker.  Report classification
+// (late vs. in time) always uses the true deadline k.
+func discardConstraint(p window.Policy, k float64) float64 {
+	a, ok := p.(protocol.Admission)
+	if !ok {
+		return k
+	}
+	d := a.AdmissionDelay(k)
+	if math.IsNaN(d) || d <= 0 || d >= k {
+		return k
+	}
+	return d
+}

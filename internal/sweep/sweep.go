@@ -226,8 +226,11 @@ type Point struct {
 func (p Point) K() float64 { return p.KOverM * p.M * p.Tau }
 
 // ParseDiscipline maps a canonical discipline name back to its value.
+// It accepts every core discipline — including the protocol-zoo
+// entries (tournament, acdc) — so the sweep axis ranges over the full
+// MAC zoo.
 func ParseDiscipline(name string) (core.Discipline, error) {
-	for _, d := range []core.Discipline{core.Controlled, core.FCFS, core.LCFS, core.Random} {
+	for _, d := range core.Disciplines() {
 		if d.String() == name {
 			return d, nil
 		}

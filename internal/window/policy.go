@@ -321,9 +321,23 @@ func (r Random) Fork() Policy {
 // Validation
 // ---------------------------------------------------------------------------
 
+// SelfValidating is implemented by policies that can check their own
+// static configuration.  Validate consults it for policy types it does
+// not know structurally, so protocol plugins (internal/protocol) get
+// the same fail-fast misconfiguration errors as the builtin policies.
+type SelfValidating interface {
+	// ValidatePolicy reports a configuration error, or nil.
+	ValidatePolicy() error
+}
+
 // Validate checks a policy's static configuration, returning an error for
 // missing required fields.  The engine calls it once at start-up.
 func Validate(p Policy) error {
+	if sv, ok := p.(SelfValidating); ok {
+		if err := sv.ValidatePolicy(); err != nil {
+			return err
+		}
+	}
 	switch q := p.(type) {
 	case Controlled:
 		if q.Length == nil {

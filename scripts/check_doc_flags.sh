@@ -1,0 +1,61 @@
+#!/bin/sh
+# check_doc_flags.sh — verifies that every `go run ./cmd/<name>` example
+# in the documentation only uses flags the command actually defines, so
+# the docs cannot drift from the CLIs (the failure mode this guards
+# against: a flag is renamed and a README example keeps the old name).
+#
+# Backslash-continued example lines are joined before extraction;
+# trailing `# comments`, output redirections and pipes are stripped;
+# `-flag=value` counts as `-flag`.
+set -eu
+cd "$(dirname "$0")/.."
+
+DOCS="README.md docs/PROTOCOLS.md"
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# flags_of CMD prints the sorted flag names `go run ./cmd/CMD -h`
+# defines, caching per command (each -h invocation is a build).
+flags_of() {
+    if [ ! -f "$tmp/flags.$1" ]; then
+        go run "./cmd/$1" -h 2>&1 |
+            sed -n 's/^  *\(-[a-z][a-z-]*\).*/\1/p' |
+            sort -u >"$tmp/flags.$1"
+    fi
+    cat "$tmp/flags.$1"
+}
+
+: >"$tmp/errors"
+for doc in $DOCS; do
+    [ -f "$doc" ] || { echo "$doc: missing" >>"$tmp/errors"; continue; }
+    # Join continuation lines, keep go-run invocations, drop comments,
+    # redirections and pipes.
+    sed -e ':a' -e '/\\$/N; s/\\\n/ /; ta' "$doc" |
+        grep -E '^[[:space:]]*go run \./cmd/' |
+        sed -e 's/[[:space:]]#.*$//' -e 's/[>|].*$//' >"$tmp/cmds" || true
+    while IFS= read -r line; do
+        # shellcheck disable=SC2086
+        set -- $line
+        shift 2 # "go run"
+        cmd=${1#./cmd/}
+        shift
+        for tok in "$@"; do
+            case $tok in
+            -*)
+                flag=${tok%%=*}
+                if ! flags_of "$cmd" | grep -qx -- "$flag"; then
+                    echo "$doc: $cmd does not define $flag (in: go run ./cmd/$cmd $*)" >>"$tmp/errors"
+                fi
+                ;;
+            esac
+        done
+    done <"$tmp/cmds"
+done
+
+if [ -s "$tmp/errors" ]; then
+    echo "documentation flag examples diverge from the CLIs:" >&2
+    cat "$tmp/errors" >&2
+    exit 1
+fi
+echo "doc flag examples match the CLIs"

@@ -35,6 +35,7 @@ import (
 	"windowctl/internal/dist"
 	"windowctl/internal/fault"
 	"windowctl/internal/metrics"
+	"windowctl/internal/protocol"
 	"windowctl/internal/queueing"
 	"windowctl/internal/sim"
 )
@@ -56,7 +57,34 @@ const (
 	LCFS = core.LCFS
 	// Random is the uncontrolled random-order baseline of [Kurose 83].
 	Random = core.Random
+	// Tournament is Galtier's constant-window tournament MAC (protocol
+	// zoo; simulation only).
+	Tournament = core.Tournament
+	// ACDC is admission-control delay-constrained random access
+	// (protocol zoo; simulation only).
+	ACDC = core.ACDC
 )
+
+// Disciplines returns every named discipline, in enum order.
+func Disciplines() []Discipline { return core.Disciplines() }
+
+// ParseDiscipline maps a canonical name (Discipline.String) back to the
+// discipline value.
+func ParseDiscipline(name string) (Discipline, error) { return core.ParseDiscipline(name) }
+
+// ProtocolNames returns the names of every registered protocol in the
+// MAC zoo (see internal/protocol), sorted.  Any of them can be set as
+// System.Protocol or passed to the CLIs' -protocol flag; the discipline
+// names are a subset.
+func ProtocolNames() []string { return protocol.Names() }
+
+// ProtocolInfo describes one registered protocol: its canonical name,
+// one-line behavior summary and literature citation.
+type ProtocolInfo = protocol.Info
+
+// Protocols returns the registered protocols sorted by name, for zoo
+// tables and -h listings.
+func Protocols() []ProtocolInfo { return protocol.Infos() }
 
 // AnalyticResult is a queueing-model prediction.
 type AnalyticResult = core.AnalyticResult
