@@ -50,6 +50,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -65,6 +66,11 @@ import (
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		// -h lands here as flag.ErrHelp: the usage text was already
+		// printed and asking for help is not an error.
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(2)
 	}
@@ -232,7 +238,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if opt.Metrics != nil {
-		opt.Metrics.Publish("sweep")
+		if err := opt.Metrics.Publish("sweep"); err != nil {
+			fmt.Fprintln(stderr, "sweep: expvar publish:", err)
+		}
 		fmt.Fprintf(stderr, "grid slot metrics (every executed run's invariants verified)\n%s", opt.Metrics.Format())
 	}
 	if *cacheStats {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -67,6 +69,20 @@ func TestRunFlagValidation(t *testing.T) {
 		if out.Len() != 0 {
 			t.Errorf("run(%v) emitted CSV despite failing", args)
 		}
+	}
+}
+
+// -h asks for the usage text; main must exit 0 for it, so run has to
+// surface it as flag.ErrHelp rather than a generic error (the regression:
+// help used to exit 2 like a validation failure).
+func TestRunHelpIsNotAnError(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-h"}, &out, &errBuf)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("run(-h) = %v, want flag.ErrHelp", err)
+	}
+	if !bytes.Contains(errBuf.Bytes(), []byte("Usage")) {
+		t.Errorf("usage text not printed:\n%s", errBuf.String())
 	}
 }
 

@@ -1,0 +1,313 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"windowctl"
+	"windowctl/internal/metrics"
+)
+
+func testOptions() options {
+	return options{
+		listen: "127.0.0.1:0", protocol: "controlled",
+		tau: 1, m: 10, km: 1, load: 0.9, seed: 7,
+		drainTimeout: 5 * time.Second,
+	}
+}
+
+// scrape pulls the "windowd" collector snapshot and engine status out of
+// /debug/vars, the exact path a monitoring agent uses.
+func scrape(t *testing.T, base string) (metrics.Snapshot, engineStatus) {
+	t.Helper()
+	resp, err := http.Get(base + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars struct {
+		Windowd metrics.Snapshot `json:"windowd"`
+		Engine  engineStatus     `json:"windowd_engine"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("decoding /debug/vars: %v", err)
+	}
+	return vars.Windowd, vars.Engine
+}
+
+func postNDJSON(t *testing.T, base string, body string) {
+	t.Helper()
+	resp, err := http.Post(base+"/ingest", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("/ingest: status %d", resp.StatusCode)
+	}
+}
+
+// The tentpole's end-to-end contract: start the server, POST arrivals,
+// watch transmissions and element-(4) sheds appear in /debug/vars, drain,
+// and verify the books balance exactly.
+func TestServerEndToEnd(t *testing.T) {
+	s, err := newServer(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	const batches, perBatch = 5, 300
+	for i := 0; i < batches; i++ {
+		postNDJSON(t, ts.URL, fmt.Sprintf("{\"count\":%d}\n", perBatch))
+	}
+
+	// The pump schedules asynchronously; wait for it to work through the
+	// ingested load (scheduled as Poisson(λ′) in virtual time).
+	deadline := time.Now().Add(10 * time.Second)
+	var snap metrics.Snapshot
+	for {
+		snap, _ = scrape(t, ts.URL)
+		if snap.Transmissions > 0 && snap.Arrivals == batches*perBatch {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pump never caught up: %+v", snap)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: status %d", resp.StatusCode)
+	}
+
+	s.beginDrain()
+	select {
+	case <-s.done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain did not complete")
+	}
+	fin := s.final.Load()
+	if fin == nil {
+		t.Fatal("no final result")
+	}
+	if fin.err != nil {
+		t.Fatalf("drain failed conservation: %v", fin.err)
+	}
+
+	snap = s.shared.Snapshot()
+	if snap.Arrivals != batches*perBatch {
+		t.Errorf("arrivals = %d, want %d", snap.Arrivals, batches*perBatch)
+	}
+	resident := int64(fin.rep.EndBacklog)
+	if snap.Transmissions+snap.Discards+resident != snap.Arrivals {
+		t.Errorf("conservation: tx %d + shed %d + resident %d != arrivals %d",
+			snap.Transmissions, snap.Discards, resident, snap.Arrivals)
+	}
+	// At K/M = 1 and ρ′ = 0.9 element (4) must be shedding.
+	if snap.Discards == 0 {
+		t.Error("expected nonzero element-(4) sheds at K/M=1, ρ'=0.9")
+	}
+
+	// After drain the ingest surface must refuse work.
+	resp, err = http.Post(ts.URL+"/ingest", "application/x-ndjson", strings.NewReader("{\"count\":1}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("ingest while drained: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// Runtime retuning: a /config POST swaps engines under load; the shared
+// collector keeps accumulating across the swap and the previous engine's
+// conservation invariants are verified during the handoff.
+func TestServerConfigSwap(t *testing.T) {
+	s, err := newServer(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	postNDJSON(t, ts.URL, "{\"count\":400}\n")
+	resp, err := http.Post(ts.URL+"/config", "application/json",
+		strings.NewReader(`{"km": 4, "load": 0.5, "protocol": "controlled"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/config POST: status %d: %s", resp.StatusCode, body)
+	}
+	var cfg map[string]any
+	if err := json.Unmarshal(body, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg["k"] != 40.0 || cfg["load"] != 0.5 {
+		t.Errorf("config did not apply: %v", cfg)
+	}
+
+	// The swapped engine must schedule arrivals ingested after the swap.
+	postNDJSON(t, ts.URL, "{\"count\":400}\n")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap, _ := scrape(t, ts.URL)
+		if snap.Arrivals == 800 && snap.Transmissions > 400 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("post-swap engine stalled: %+v", snap)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	s.beginDrain()
+	<-s.done
+	if fin := s.final.Load(); fin == nil || fin.err != nil {
+		t.Fatalf("drain after swap: %+v", fin)
+	}
+
+	// Tau is pinned: the histogram bin width cannot change at runtime.
+	resp, err = http.Post(ts.URL+"/config", "application/json", strings.NewReader(`{"tau": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("changing tau: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// The binary ingest format: big-endian uint32 counts, any number per
+// body, rejecting ragged lengths.
+func TestServerBinaryIngest(t *testing.T) {
+	s, err := newServer(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	body := []byte{0, 0, 0, 100, 0, 0, 1, 44} // 100 + 300
+	resp, err := http.Post(ts.URL+"/ingest.bin", "application/octet-stream", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("/ingest.bin: status %d", resp.StatusCode)
+	}
+	if got := s.totalIngested.Load(); got != 400 {
+		t.Errorf("ingested %d, want 400", got)
+	}
+
+	resp, err = http.Post(ts.URL+"/ingest.bin", "application/octet-stream", strings.NewReader("abc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("ragged body: status %d, want 400", resp.StatusCode)
+	}
+
+	s.beginDrain()
+	<-s.done
+}
+
+// The acceptance criterion's statistical half: the live shed fraction at
+// K/M = 1 must match the batch simulator's element-(4) discard rate.  A
+// synthetic-mode server is the controlled comparison — its pump draws the
+// same Poisson(λ′) law in virtual time the batch engine draws.
+func TestServerSyntheticShedMatchesBatch(t *testing.T) {
+	o := testOptions()
+	o.synthetic = true
+	batchSys := windowctl.System{Tau: o.tau, M: o.m, RhoPrime: o.load, K: o.km * o.m * o.tau, Seed: 99}
+	batch, err := batchSys.Simulate(windowctl.SimOptions{EndTime: 300000, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchShed := float64(batch.LostSender) / float64(batch.Offered)
+
+	s, err := newServer(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Free-run the synthetic pump for a bounded wall time, then drain.
+	time.Sleep(300 * time.Millisecond)
+	s.beginDrain()
+	select {
+	case <-s.done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain did not complete")
+	}
+	fin := s.final.Load()
+	if fin == nil || fin.err != nil {
+		t.Fatalf("synthetic run failed: %+v", fin)
+	}
+	snap := s.shared.Snapshot()
+	if snap.Arrivals < 10000 {
+		t.Skipf("machine too slow for a statistical comparison (only %d arrivals)", snap.Arrivals)
+	}
+	liveShed := float64(snap.Discards) / float64(snap.Arrivals)
+	if batchShed <= 0 || liveShed <= 0 {
+		t.Fatalf("expected shedding on both sides: batch=%v live=%v", batchShed, liveShed)
+	}
+	if diff := math.Abs(batchShed - liveShed); diff > 0.05 {
+		t.Errorf("shed fraction diverges: batch %.4f vs live %.4f (|Δ| = %.4f > 0.05)", batchShed, liveShed, diff)
+	}
+}
+
+// CLI exit-path contract (PR 4 convention): validation errors are usage
+// errors, -h is not an error at all.
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"bad tau", []string{"-tau", "-1"}},
+		{"bad load", []string{"-load", "0"}},
+		{"bad km", []string{"-km", "-2"}},
+		{"unknown protocol", []string{"-protocol", "nosuch"}},
+		{"positional junk", []string{"extra"}},
+		{"bad drain timeout", []string{"-drain-timeout", "-1s"}},
+		{"inf k", []string{"-k", "1e300"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(append(tc.args, "-listen", "127.0.0.1:0"), io.Discard, io.Discard, nil)
+			if err == nil {
+				t.Fatal("run returned nil for invalid flags")
+			}
+			if !errors.As(err, new(usageError)) && !strings.Contains(err.Error(), "invalid") {
+				t.Errorf("want a usage error, got %T: %v", err, err)
+			}
+		})
+	}
+	if err := run([]string{"-h"}, io.Discard, io.Discard, nil); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h: want flag.ErrHelp, got %v", err)
+	}
+}

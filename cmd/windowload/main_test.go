@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"io"
+	"math"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syscallTerm is SIGTERM; a var so the test file stays buildable if a
+// future port lacks it.
+var syscallTerm = syscall.SIGTERM
+
+// Source models must offer approximately their nominal rate.
+func TestSourceRates(t *testing.T) {
+	const tick = 2 * time.Millisecond
+	ticks := int(10 * time.Second / tick)
+	cases := []struct {
+		name string
+		src  source
+		want float64 // msgs/sec
+		tol  float64 // relative
+	}{
+		{"poisson", &poissonSource{rng: nil, mean: 0}, 0, 0}, // replaced below
+		{"voice", newVoiceSource(50, tick, 3), 50 * voicePktRateOn * voiceMeanOn / (voiceMeanOn + voiceMeanOff), 0.10},
+		{"sensor", newSensorSource(40, time.Second, tick, 3), 40, 0.05},
+	}
+	ps, err := newSource("poisson", 5e5, 1, time.Second, tick, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases[0].src, cases[0].want, cases[0].tol = ps, 5e5, 0.02
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			total := 0
+			for i := 0; i < ticks; i++ {
+				n := tc.src.draw()
+				if n < 0 {
+					t.Fatalf("negative draw %d", n)
+				}
+				total += n
+			}
+			got := float64(total) / (float64(ticks) * tick.Seconds())
+			if math.Abs(got-tc.want)/tc.want > tc.tol {
+				t.Errorf("offered %.0f msgs/s, want %.0f ± %.0f%%", got, tc.want, 100*tc.tol)
+			}
+		})
+	}
+}
+
+func TestNewSourceRejectsUnknownMode(t *testing.T) {
+	if _, err := newSource("bogus", 1, 1, time.Second, time.Millisecond, 1); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+// CLI exit-path contract: validation errors are usage errors; -h is help.
+func TestRunFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-duration", "0s"},
+		{"-rate", "-5"},
+		{"-tick", "-1ms"},
+		{"-mode", "bogus"},
+		{"-stations", "0"},
+		{"extra-positional"},
+	} {
+		err := run(args, io.Discard, io.Discard)
+		if err == nil {
+			t.Errorf("run(%v) = nil, want usage error", args)
+			continue
+		}
+		if !errors.As(err, new(usageError)) {
+			t.Errorf("run(%v): want usageError, got %T: %v", args, err, err)
+		}
+	}
+	if err := run([]string{"-h"}, io.Discard, io.Discard); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h: want flag.ErrHelp, got %v", err)
+	}
+}
+
+// An unreachable target is a runtime failure (exit 1 path), not a panic.
+func TestRunUnreachableTarget(t *testing.T) {
+	err := run([]string{"-target", "http://127.0.0.1:1", "-duration", "10ms"}, io.Discard, io.Discard)
+	if err == nil || errors.As(err, new(usageError)) {
+		t.Fatalf("want a runtime error, got %v", err)
+	}
+}
+
+// Full-stack saturation check: a real windowd subprocess, driven hard by
+// the generator over loopback HTTP, must book every offered message
+// (scheduled or owed), keep its conservation invariants, and drain
+// cleanly on SIGTERM — the CI smoke in miniature, pinned as a Go test.
+func TestAgainstLiveWindowd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a subprocess and sleeps")
+	}
+	bin := t.TempDir() + "/windowd"
+	build := exec.Command("go", "build", "-o", bin, "windowctl/cmd/windowd")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building windowd: %v\n%s", err, out)
+	}
+	srv := exec.Command(bin, "-listen", "127.0.0.1:0", "-m", "10", "-km", "1", "-load", "0.9")
+	var serverOut bytes.Buffer
+	stderr, err := srv.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stdout = &serverOut
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+
+	// The bound address is announced on stderr.
+	line := make([]byte, 0, 256)
+	buf := make([]byte, 1)
+	for {
+		if _, err := stderr.Read(buf); err != nil {
+			t.Fatalf("windowd never announced its address: %v", err)
+		}
+		if buf[0] == '\n' {
+			break
+		}
+		line = append(line, buf[0])
+	}
+	go io.Copy(io.Discard, stderr)
+	fields := strings.Fields(string(line))
+	if len(fields) < 4 {
+		t.Fatalf("unexpected announcement %q", line)
+	}
+	target := "http://" + fields[3]
+
+	var out bytes.Buffer
+	err = run([]string{
+		"-target", target, "-duration", "500ms", "-tick", "1ms",
+		"-rate", "2e6", "-seed", "9",
+	}, &out, io.Discard)
+	t.Logf("windowload output:\n%s", out.String())
+	if err != nil {
+		t.Fatalf("load run failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "conservation ok") {
+		t.Error("target did not report balanced books mid-run")
+	}
+
+	if err := srv.Process.Signal(syscallTerm); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("windowd exited uncleanly after SIGTERM: %v\n%s", err, serverOut.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("windowd did not drain within 30s of SIGTERM")
+	}
+	if !strings.Contains(serverOut.String(), "conservation invariants verified") {
+		t.Errorf("missing drain verification marker in:\n%s", serverOut.String())
+	}
+}

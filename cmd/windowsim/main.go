@@ -73,6 +73,12 @@ func main() {
 	if !(*messages > 0) {
 		usage("-messages must be positive, got %v", *messages)
 	}
+	if !(*tau > 0) || !(*m > 0) || !(*rho > 0) {
+		usage("-tau, -m and -rho must be positive (got %v, %v, %v)", *tau, *m, *rho)
+	}
+	if *k < 0 || (*k == 0 && !(*km > 0)) {
+		usage("need a positive constraint: -k %v / -km %v", *k, *km)
+	}
 	if *replications < 0 {
 		usage("-replications must be >= 0, got %d", *replications)
 	}
@@ -121,6 +127,11 @@ func main() {
 	if constraint == 0 {
 		constraint = *km * *m * *tau
 	}
+	if !(constraint > 0) || constraint > 1e15 {
+		// An overflow-scale K would previously turn into a negative
+		// histogram bin count (float→int overflow) and panic under -metrics.
+		usage("constraint K must be positive and finite (≤ 1e15), got %v", constraint)
+	}
 	// -protocol selects any registered zoo protocol by name; -discipline
 	// remains the classic enum spelling.  Protocol names that correspond
 	// to disciplines are normalized by the library, so both routes reach
@@ -154,7 +165,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "windowsim: -metrics does not combine with -replications (replications run concurrently)")
 			os.Exit(2)
 		}
-		sm = windowctl.NewSlotMetrics(*tau, int(constraint / *tau)+64)
+		bins := int(constraint / *tau)
+		if bins > 1<<20 {
+			bins = 1 << 20 // longer waits land in the overflow bin
+		}
+		sm = windowctl.NewSlotMetrics(*tau, bins+64)
 		opt.Collector = sm
 	}
 
@@ -198,7 +213,9 @@ func main() {
 	if sm != nil {
 		// The run already verified the conservation invariants (it would
 		// have failed above otherwise); publish for expvar consumers too.
-		sm.Publish("windowsim")
+		if err := sm.Publish("windowsim"); err != nil {
+			fmt.Fprintln(os.Stderr, "windowsim: expvar publish:", err)
+		}
 		fmt.Printf("\nslot metrics (invariants verified)\n%s", sm.Format())
 	}
 }

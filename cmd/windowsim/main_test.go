@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// buildCmd compiles the command once per test binary so the exit-code
+// assertions run against the real executable (main calls os.Exit, which
+// cannot be observed in-process).
+func buildCmd(t *testing.T) string {
+	t.Helper()
+	bin := t.TempDir() + "/windowsim"
+	out, err := exec.Command("go", "build", "-o", bin, "windowctl/cmd/windowsim").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building windowsim: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// Exit-path contract (the PR 4 convention): validation errors exit 2 with
+// a diagnostic, never 0 and never a panic; -h exits 0.
+func TestExitPaths(t *testing.T) {
+	bin := buildCmd(t)
+	cases := []struct {
+		name     string
+		args     []string
+		wantExit int
+		wantMsg  string
+	}{
+		{"help", []string{"-h"}, 0, "Usage"},
+		{"bad tau", []string{"-tau", "0"}, 2, "-tau"},
+		{"bad rho", []string{"-rho", "-1"}, 2, "-rho"},
+		{"negative k", []string{"-k", "-5"}, 2, "constraint"},
+		{"zero km with zero k", []string{"-km", "0"}, 2, "constraint"},
+		{"bad messages", []string{"-messages", "0"}, 2, "-messages"},
+		// The regression this file pins: an overflow-scale K used to pass
+		// validation and panic in histogram construction under -metrics.
+		{"overflow k", []string{"-k", "1e300", "-metrics"}, 2, "finite"},
+		{"both protocol and discipline", []string{"-protocol", "acdc", "-discipline", "fcfs"}, 2, "not both"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := exec.Command(bin, tc.args...).CombinedOutput()
+			exit := 0
+			if ee, ok := err.(*exec.ExitError); ok {
+				exit = ee.ExitCode()
+			} else if err != nil {
+				t.Fatalf("running: %v", err)
+			}
+			if exit != tc.wantExit {
+				t.Errorf("exit %d, want %d\noutput:\n%s", exit, tc.wantExit, out)
+			}
+			if !strings.Contains(string(out), tc.wantMsg) {
+				t.Errorf("output missing %q:\n%s", tc.wantMsg, out)
+			}
+			if strings.Contains(string(out), "panic") {
+				t.Errorf("command panicked:\n%s", out)
+			}
+		})
+	}
+}
+
+// A tiny happy-path run with -metrics: exit 0 and the invariant marker.
+func TestMetricsRun(t *testing.T) {
+	bin := buildCmd(t)
+	out, err := exec.Command(bin, "-rho", "0.5", "-m", "10", "-km", "1", "-messages", "2000", "-metrics").CombinedOutput()
+	if err != nil {
+		t.Fatalf("run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "invariants verified") {
+		t.Errorf("missing invariant marker:\n%s", out)
+	}
+}

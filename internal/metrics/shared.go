@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"expvar"
+	"sync"
+)
+
+// Shared is the concurrency-safe form of SlotMetrics: every Collector,
+// FaultObserver and ConservationChecker method and every read-out
+// (Snapshot, Format, quantiles) takes an internal mutex, so one engine
+// goroutine can record events while any number of scrape handlers
+// snapshot the counters — the operating mode of a long-running server
+// (cmd/windowd) whose /debug/vars and /metrics endpoints are hit while
+// the scheduler is stepping.
+//
+// A plain SlotMetrics stays the right collector for batch runs: it is
+// allocation- and lock-free on the hot path.  Shared trades one uncontended
+// mutex acquisition per recorded event for scrape safety; the engines
+// batch their Record calls, so the cost is a few locks per protocol slot.
+type Shared struct {
+	mu sync.Mutex
+	m  SlotMetrics
+}
+
+// NewShared creates a Shared collector whose accepted-wait histogram has
+// the given bin width and count (use binWidth = τ and enough bins to
+// cover K, as NewSlotMetrics does).  It panics on non-positive arguments.
+func NewShared(binWidth float64, bins int) *Shared {
+	s := &Shared{}
+	s.m = *NewSlotMetrics(binWidth, bins)
+	return s
+}
+
+// RecordArrivals implements Collector.
+func (s *Shared) RecordArrivals(n int64) {
+	s.mu.Lock()
+	s.m.RecordArrivals(n)
+	s.mu.Unlock()
+}
+
+// RecordSlots implements Collector.
+func (s *Shared) RecordSlots(o SlotOutcome, n int64, channelTime float64) {
+	s.mu.Lock()
+	s.m.RecordSlots(o, n, channelTime)
+	s.mu.Unlock()
+}
+
+// RecordSplit implements Collector.
+func (s *Shared) RecordSplit() {
+	s.mu.Lock()
+	s.m.RecordSplit()
+	s.mu.Unlock()
+}
+
+// RecordDiscards implements Collector.
+func (s *Shared) RecordDiscards(n int64) {
+	s.mu.Lock()
+	s.m.RecordDiscards(n)
+	s.mu.Unlock()
+}
+
+// RecordTransmission implements Collector.
+func (s *Shared) RecordTransmission(wait float64, accepted bool) {
+	s.mu.Lock()
+	s.m.RecordTransmission(wait, accepted)
+	s.mu.Unlock()
+}
+
+// RecordEndPending implements Collector.
+func (s *Shared) RecordEndPending(lost, censored int64) {
+	s.mu.Lock()
+	s.m.RecordEndPending(lost, censored)
+	s.mu.Unlock()
+}
+
+// RecordFault implements FaultObserver.
+func (s *Shared) RecordFault(k FaultKind) {
+	s.mu.Lock()
+	s.m.RecordFault(k)
+	s.mu.Unlock()
+}
+
+// RecordRecovery implements FaultObserver.
+func (s *Shared) RecordRecovery() {
+	s.mu.Lock()
+	s.m.RecordRecovery()
+	s.mu.Unlock()
+}
+
+// RecordDesync implements FaultObserver.
+func (s *Shared) RecordDesync() {
+	s.mu.Lock()
+	s.m.RecordDesync()
+	s.mu.Unlock()
+}
+
+// Checkpoint implements ConservationChecker.
+func (s *Shared) Checkpoint() Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Checkpoint()
+}
+
+// CheckConservation implements ConservationChecker.
+func (s *Shared) CheckConservation(since Checkpoint, resident int64, elapsed float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.CheckConservation(since, resident, elapsed)
+}
+
+// Snapshot returns a consistent view of the counters and derived rates:
+// all fields are read under one lock acquisition, so a snapshot taken
+// mid-run never mixes counter values from different instants.
+func (s *Shared) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Snapshot()
+}
+
+// Format renders the counters as the aligned human-readable text block
+// of SlotMetrics.Format, under the lock.
+func (s *Shared) Format() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Format()
+}
+
+// WaitQuantile returns the q-quantile of the accepted waiting times
+// (+Inf when q falls in the histogram's overflow region, 0 when the
+// collector has no histogram or no observations).
+func (s *Shared) WaitQuantile(q float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m.WaitHist == nil || s.m.WaitHist.N() == 0 {
+		return 0
+	}
+	return s.m.WaitHist.Quantile(q)
+}
+
+// Var returns the collector as an expvar variable rendering the current
+// Snapshot as JSON.
+func (s *Shared) Var() expvar.Var {
+	return expvar.Func(func() any { return s.Snapshot() })
+}
+
+// Publish registers the collector in the process-wide expvar registry
+// under the given name, with the same idempotent-replace semantics as
+// SlotMetrics.Publish.
+func (s *Shared) Publish(name string) error { return PublishVar(name, s.Var()) }

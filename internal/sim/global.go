@@ -74,6 +74,11 @@ type Config struct {
 	// RateEstimator: corrupted idle/success observations would poison the
 	// estimate in ways the paper's adaptive extension does not model.
 	Faults fault.Config
+	// ExternalArrivals disables the internal Poisson arrival stream: no
+	// messages appear unless they are pushed in from outside (see Stepper).
+	// Lambda is still required — it remains the rate the policy's view is
+	// built from when no RateEstimator is installed.
+	ExternalArrivals bool
 }
 
 func (c *Config) validate() error {
@@ -159,6 +164,19 @@ func RunGlobal(cfg Config) (Report, error) {
 	return g.run()
 }
 
+// waitHistBins sizes the waiting-time histogram to cover the constraint K
+// at slot resolution, clamped so an overflow-scale or infinite K (legal
+// for unconstrained runs) yields a bounded histogram instead of a
+// float→int overflow and a panicking negative bin count.
+func waitHistBins(k, tau float64) int {
+	const maxBins = 1 << 20
+	b := k / tau
+	if !(b >= 0) || b > maxBins-64 {
+		return maxBins
+	}
+	return int(b) + 64
+}
+
 // newGlobalState validates the configuration and builds a ready-to-step
 // engine.  It exists separately from RunGlobal so the allocation tests
 // can warm a state and then measure a bare step cycle.
@@ -180,8 +198,12 @@ func newGlobalState(cfg Config) (*globalState, error) {
 		}
 		g.inj = inj
 	}
-	g.rep.WaitHist = stats.NewHistogram(cfg.Tau, int(cfg.K/cfg.Tau)+64)
-	g.nextArr = g.rng.Exp(cfg.Lambda)
+	g.rep.WaitHist = stats.NewHistogram(cfg.Tau, waitHistBins(cfg.K, cfg.Tau))
+	if cfg.ExternalArrivals {
+		g.nextArr = math.Inf(1)
+	} else {
+		g.nextArr = g.rng.Exp(cfg.Lambda)
+	}
 	g.maxBacklog = cfg.MaxBacklog
 	if g.maxBacklog <= 0 {
 		g.maxBacklog = 1 << 20
@@ -212,7 +234,7 @@ func (g *globalState) run() (Report, error) {
 			return g.rep, err
 		}
 	}
-	g.finish()
+	g.finishAt(g.cfg.EndTime)
 	if check != nil {
 		if err := check.CheckConservation(checkpoint, int64(g.pending.Len()), g.now); err != nil {
 			return g.rep, fmt.Errorf("sim: %w", err)
@@ -458,6 +480,12 @@ func (g *globalState) fastForwardIdle(view window.View) bool {
 	if _, random := g.cfg.Policy.(window.ForkablePolicy); random {
 		return false
 	}
+	if math.IsInf(g.nextArr, 1) {
+		// No known future arrival (external-arrival mode): the skip count
+		// would be unbounded, and a server's clock must stay near the
+		// injected stamps, so advance probe by probe instead.
+		return false
+	}
 	w := g.cfg.Policy.InitialWindow(view)
 	if w.Start > view.TPast || w.End < view.TNewest {
 		return false // window would not clear the whole span
@@ -466,8 +494,11 @@ func (g *globalState) fastForwardIdle(view window.View) bool {
 	// next arrival are idle single-slot probes.  The skip also stops at
 	// EndTime — probe-by-probe execution never runs probes beyond it.
 	skip := 1 + int(math.Max(0, (g.nextArr-g.now-g.cfg.Tau)/g.cfg.Tau))
-	if limit := int(math.Ceil((g.cfg.EndTime - g.now) / g.cfg.Tau)); skip > limit {
-		skip = limit
+	if !math.IsInf(g.cfg.EndTime, 1) {
+		// (An infinite horizon has no limit, and int(+Inf) would overflow.)
+		if limit := int(math.Ceil((g.cfg.EndTime - g.now) / g.cfg.Tau)); skip > limit {
+			skip = limit
+		}
 	}
 	if skip < 1 {
 		skip = 1
@@ -480,14 +511,15 @@ func (g *globalState) fastForwardIdle(view window.View) bool {
 	return true
 }
 
-// finish classifies the messages still pending at the end of the run and
+// finishAt classifies the messages still pending at the reference time
+// (EndTime for horizon runs, the current clock for stepped runs) and
 // computes utilization.
-func (g *globalState) finish() {
+func (g *globalState) finishAt(ref float64) {
 	g.pending.ForEach(func(arrival float64, measured bool) {
 		if !measured {
 			return
 		}
-		if g.cfg.EndTime-arrival > g.cfg.K {
+		if ref-arrival > g.cfg.K {
 			g.rep.LostPending++
 		} else {
 			g.rep.Censored++

@@ -10,7 +10,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-DOCS="README.md docs/PROTOCOLS.md"
+DOCS="README.md docs/PROTOCOLS.md docs/SERVICE.md"
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
