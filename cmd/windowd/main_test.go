@@ -15,6 +15,7 @@ import (
 
 	"windowctl"
 	"windowctl/internal/metrics"
+	"windowctl/internal/rngutil"
 )
 
 func testOptions() options {
@@ -169,11 +170,13 @@ func TestServerConfigSwap(t *testing.T) {
 	}
 
 	// The swapped engine must schedule arrivals ingested after the swap.
+	// Arrivals may exceed the 800 ingested: backlog carried across the
+	// swap is booked again by the incoming engine (see docs/SERVICE.md).
 	postNDJSON(t, ts.URL, "{\"count\":400}\n")
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		snap, _ := scrape(t, ts.URL)
-		if snap.Arrivals == 800 && snap.Transmissions > 400 {
+		if snap.Arrivals >= 800 && snap.Transmissions > 400 {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -197,6 +200,105 @@ func TestServerConfigSwap(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("changing tau: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// barePump builds a pumpState outside newServer so reconfigure/drain can
+// be exercised deterministically, without the pump goroutine owning the
+// engine or the expvar surface being touched.
+func barePump(t *testing.T, o options) (*server, *pumpState) {
+	t.Helper()
+	srv := &server{shared: metrics.NewShared(o.tau, 256), opts: o}
+	st, est, err := o.engine(srv.shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, &pumpState{s: srv, st: st, o: o, lam: o.lambda(), est: est, rel: rngutil.New(o.seed ^ 0x6a09e667f3bcc909)}
+}
+
+// A /config swap under load must not shed the in-engine backlog: every
+// message still pending in the outgoing engine is re-injected into the
+// incoming one.
+func TestReconfigureCarriesBacklog(t *testing.T) {
+	o := testOptions()
+	_, p := barePump(t, o)
+	for i := 0; i < 5; i++ {
+		if err := p.st.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Injected after the last Step, these 50 are still in the engine
+	// (queued) when the swap lands — the backlog a /config POST under
+	// load would previously have shed.
+	p.st.Inject(50)
+	carried := p.st.Backlog()
+	if carried != 50 {
+		t.Fatalf("setup: backlog = %d, want 50", carried)
+	}
+	o2 := o
+	o2.km, o2.load = 4, 0.5
+	m := ctrlMsg{opts: o2, reply: make(chan error, 1)}
+	p.reconfigure(m)
+	if err := <-m.reply; err != nil {
+		t.Fatalf("reconfigure: %v", err)
+	}
+	if got := p.st.Backlog(); got != carried {
+		t.Errorf("backlog after swap = %d, want the carried %d", got, carried)
+	}
+	// The carried messages must actually be schedulable by the new engine.
+	for i := 0; i < 20000 && p.st.Backlog() > 0; i++ {
+		if err := p.st.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.st.Backlog() != 0 {
+		t.Errorf("carried backlog never drained: %d left", p.st.Backlog())
+	}
+}
+
+// drain must keep re-absorbing the ingest counter: a request that passes
+// accept()'s draining check just as beginDrain fires books messages after
+// drain has begun, and they must still be scheduled, not stranded.
+func TestDrainAbsorbsLateIngest(t *testing.T) {
+	o := testOptions()
+	srv, p := barePump(t, o)
+	srv.ingested.Add(37) // booked by an accept() racing beginDrain
+	p.drain()
+	fin := srv.final.Load()
+	if fin == nil || fin.err != nil {
+		t.Fatalf("drain: %+v", fin)
+	}
+	snap := srv.shared.Snapshot()
+	if snap.Arrivals != 37 {
+		t.Errorf("arrivals = %d, want 37", snap.Arrivals)
+	}
+	if snap.Transmissions+snap.Discards != 37 {
+		t.Errorf("late-booked messages stranded: tx %d + shed %d != 37",
+			snap.Transmissions, snap.Discards)
+	}
+}
+
+// Validation admits constraints up to 1e15; with a tiny tau the bin count
+// constraint/tau can exceed int range, and the float→int conversion must
+// not slip under the clamp and panic the histogram constructors.
+func TestServerExtremeConstraintNoPanic(t *testing.T) {
+	o := testOptions()
+	o.tau, o.k = 1e-10, 1e14
+	if err := o.validate(); err != nil {
+		t.Fatalf("options should validate: %v", err)
+	}
+	s, err := newServer(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.beginDrain()
+	select {
+	case <-s.done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain did not complete")
+	}
+	if fin := s.final.Load(); fin == nil || fin.err != nil {
+		t.Fatalf("empty run should finish cleanly: %+v", fin)
 	}
 }
 

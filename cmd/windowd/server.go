@@ -167,12 +167,16 @@ type server struct {
 }
 
 func newServer(o options) (*server, error) {
-	bins := int(o.constraint() / o.tau)
-	if bins > 1<<20 {
-		// An enormous constraint must not translate into an enormous
-		// histogram; waits past the covered range land in the overflow bin.
-		bins = 1 << 20
+	// An enormous constraint must not translate into an enormous
+	// histogram; waits past the covered range land in the overflow bin.
+	// Clamp before the float→int conversion: past int range the
+	// conversion itself is implementation-defined (negative on amd64)
+	// and would slip under an int-side clamp.
+	b := o.constraint() / o.tau
+	if !(b >= 0) || b > 1<<20 {
+		b = 1 << 20
 	}
+	bins := int(b)
 	s := &server{
 		shared:    metrics.NewShared(o.tau, bins+64),
 		notify:    make(chan struct{}, 1),
@@ -313,13 +317,19 @@ func (p *pumpState) advance() error {
 // new engine is constructed first (construction errors leave the old one
 // running), then the old engine is finished — its conservation invariants
 // verified — and the shared collector simply keeps accumulating across
-// the swap.
+// the swap.  Messages still queued in the outgoing engine are re-injected
+// into the incoming one so a /config POST under load does not shed the
+// in-flight backlog; the outgoing engine's Finish books them as censored
+// residents and the incoming engine counts them as fresh arrivals, so the
+// cumulative arrival counter advances by the carried count at each swap
+// (see docs/SERVICE.md).
 func (p *pumpState) reconfigure(m ctrlMsg) {
 	st, est, err := m.opts.engine(p.s.shared)
 	if err != nil {
 		m.reply <- err
 		return
 	}
+	carry := p.st.Backlog()
 	if _, err := p.st.Finish(); err != nil {
 		// The outgoing engine's books do not balance: surface it to the
 		// caller and keep serving with the fresh engine.
@@ -328,6 +338,9 @@ func (p *pumpState) reconfigure(m ctrlMsg) {
 		m.reply <- nil
 	}
 	p.st, p.est, p.o, p.lam = st, est, m.opts, m.opts.lambda()
+	if carry > 0 {
+		p.st.Inject(carry)
+	}
 	p.s.setOpts(m.opts)
 	p.publish(nil)
 }
@@ -339,8 +352,15 @@ func (p *pumpState) reconfigure(m ctrlMsg) {
 func (p *pumpState) drain() {
 	deadline := time.Now().Add(p.o.drainTimeout)
 	p.o.synthetic = false // stop generating; only owed messages remain
-	p.owed += p.s.ingested.Swap(0)
-	for (p.owed > 0 || p.st.Backlog() > 0) && time.Now().Before(deadline) {
+	for time.Now().Before(deadline) {
+		// Re-absorb the counter every iteration: a request that passed
+		// accept()'s draining check just as beginDrain fired may add to
+		// ingested after drain has started, and a single up-front Swap
+		// would strand those acknowledged messages unscheduled.
+		p.owed += p.s.ingested.Swap(0)
+		if p.owed == 0 && p.st.Backlog() == 0 {
+			break
+		}
 		if err := p.advance(); err != nil {
 			p.fail(err)
 			return
@@ -349,9 +369,10 @@ func (p *pumpState) drain() {
 			p.publish(nil)
 		}
 	}
-	if p.owed > 0 {
-		// Timeout with messages still owed: materialize them so the books
-		// balance; Finish classifies them as censored residents.
+	if p.owed += p.s.ingested.Swap(0); p.owed > 0 {
+		// Timeout (or a last racing accept) with messages still owed:
+		// materialize them so the books balance; Finish classifies them
+		// as censored residents.
 		p.st.Inject(int(p.owed))
 		p.owed = 0
 	}

@@ -165,10 +165,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "windowsim: -metrics does not combine with -replications (replications run concurrently)")
 			os.Exit(2)
 		}
-		bins := int(constraint / *tau)
-		if bins > 1<<20 {
-			bins = 1 << 20 // longer waits land in the overflow bin
+		// Clamp before the float→int conversion (which overflows past int
+		// range); longer waits land in the overflow bin.
+		b := constraint / *tau
+		if !(b >= 0) || b > 1<<20 {
+			b = 1 << 20
 		}
+		bins := int(b)
 		sm = windowctl.NewSlotMetrics(*tau, bins+64)
 		opt.Collector = sm
 	}

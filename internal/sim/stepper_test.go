@@ -82,6 +82,36 @@ func TestStepperConservation(t *testing.T) {
 // classifier assigns each to LostPending or Censored, so the slack is 0.
 func unmeasuredResident(Report) int { return 0 }
 
+// CheckNow must hold right after Inject: queued arrivals are outside the
+// collector's books until the next Step materializes them, so counting
+// them as resident would report a phantom conservation violation on the
+// exact sequence windowd's pump runs (Step → Inject → CheckNow).
+func TestStepperCheckNowAfterInject(t *testing.T) {
+	cfg := stepperConfig()
+	col := metrics.NewSlotMetrics(cfg.Tau, 200)
+	cfg.Collector = col
+	s, err := NewStepper(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Inject(3)
+	if err := s.CheckNow(); err != nil {
+		t.Fatalf("conservation falsely violated with queued arrivals: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		s.Inject(2)
+		if err := s.CheckNow(); err != nil {
+			t.Fatalf("step %d: conservation with queued arrivals: %v", i, err)
+		}
+	}
+	if _, err := s.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
 // Finishing at the current clock must classify residents by their *age
 // now*: a message injected moments ago is censored, not lost.
 func TestStepperFinishClassifiesByAge(t *testing.T) {
