@@ -19,6 +19,7 @@ package windowctl_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"windowctl"
 	"windowctl/internal/benchcase"
@@ -77,6 +78,33 @@ func BenchmarkRunMultiStation(b *testing.B) {
 				msgs = rep.Offered
 			}
 			perIter := b.Elapsed().Seconds() / float64(b.N)
+			b.ReportMetric(perIter*1e9/float64(msgs), "ns/msg")
+			b.ReportMetric(float64(msgs)/perIter, "msgs/sec")
+		})
+	}
+}
+
+// BenchmarkIngest times the binary ingest path on the pinned wire
+// workloads (see internal/benchcase): the codec alone, and the full
+// loopback TCP protocol at shallow and deep frame batching.  Each
+// iteration moves a fixed frame batch end to end, so ns/msg prices the
+// whole decode + credit + ack machinery per absorbed message.
+// cmd/simbench runs the same workloads for the CI regression gate.
+func BenchmarkIngest(b *testing.B) {
+	for _, c := range benchcase.Ingest() {
+		c := c
+		b.Run(c.Name, func(b *testing.B) {
+			var msgs int64
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				d, m, err := benchcase.RunIngest(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += d
+				msgs = m
+			}
+			perIter := total.Seconds() / float64(b.N)
 			b.ReportMetric(perIter*1e9/float64(msgs), "ns/msg")
 			b.ReportMetric(float64(msgs)/perIter, "msgs/sec")
 		})

@@ -291,6 +291,31 @@ func runBench(outPath string, reps int) error {
 			AllocsPerMessage: apm,
 		})
 	}
+	// Ingest workloads price the wire codec and the loopback TCP ingest
+	// protocol per absorbed message.  Steady-state allocations are pinned
+	// to zero by internal/wire's AllocsPerRun test, so the column is
+	// suppressed rather than re-measured across goroutines and sockets.
+	for _, c := range benchcase.Ingest() {
+		best := time.Duration(1<<63 - 1)
+		var msgs int64
+		for r := 0; r < reps; r++ {
+			d, m, err := benchcase.RunIngest(c)
+			if err != nil {
+				return fmt.Errorf("ingest/%s: %w", c.Name, err)
+			}
+			if d < best {
+				best = d
+			}
+			msgs = m
+		}
+		o.Results = append(o.Results, Result{
+			Name:             "ingest/" + c.Name,
+			Messages:         msgs,
+			NsPerMessage:     float64(best.Nanoseconds()) / float64(msgs),
+			MessagesPerSec:   float64(msgs) / best.Seconds(),
+			AllocsPerMessage: -1,
+		})
+	}
 	// Sweep workloads measure the grid driver, so their unit is the grid
 	// point, not the message: Messages holds the point count and
 	// NsPerMessage is ns/point.  Allocations are not meaningful at grid

@@ -6,7 +6,10 @@
 //
 // Arrivals are ingested over HTTP (newline-delimited JSON on /ingest,
 // big-endian uint32 batch counts on /ingest.bin — the format cmd/windowload
-// speaks) or generated internally with -synthetic.  A single pump
+// speaks), over the binary TCP plane (-listen-tcp: internal/wire framed
+// counts decoded straight into the owed-arrival ledger, an order of
+// magnitude past the HTTP path), or generated internally with
+// -synthetic.  A single pump
 // goroutine owns the incremental engine (sim.Stepper): each iteration it
 // absorbs the ingest counter, advances one decision epoch of virtual
 // channel time, and releases absorbed arrivals into the engine at the
@@ -35,10 +38,11 @@
 //
 // Usage:
 //
-//	windowd [-listen :8343] [-protocol controlled] [-tau 1] [-m 25]
+//	windowd [-listen :8343] [-listen-tcp ADDR] [-tcp-max-owed N]
+//	        [-protocol controlled] [-tau 1] [-m 25]
 //	        [-k K | -km 2] [-load 0.75] [-g G] [-seed 1]
 //	        [-synthetic] [-estimate-rate] [-max-backlog N]
-//	        [-drain-timeout 10s]
+//	        [-drain-timeout 10s] [-pprof]
 package main
 
 import (
@@ -86,6 +90,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 	fs := flag.NewFlagSet("windowd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	listen := fs.String("listen", ":8343", "HTTP listen address")
+	listenTCP := fs.String("listen-tcp", "", "binary-ingest TCP listen address (empty = disabled)")
+	maxOwed := fs.Int64("tcp-max-owed", 0, "shed TCP ingest while the owed-arrival backlog exceeds N messages (0 = unbounded)")
+	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/ on the HTTP listener")
 	proto := fs.String("protocol", "controlled", "protocol to schedule with: "+strings.Join(windowctl.ProtocolNames(), " | "))
 	tau := fs.Float64("tau", 1, "slot time τ (virtual channel time units)")
 	m := fs.Float64("m", 25, "message length M in slots")
@@ -108,7 +115,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 		return usageError{fmt.Errorf("unexpected arguments: %v", fs.Args())}
 	}
 	o := options{
-		listen: *listen, protocol: *proto, tau: *tau, m: *m, k: *k, km: *km,
+		listen: *listen, listenTCP: *listenTCP, maxOwed: *maxOwed,
+		pprof: *pprofFlag, protocol: *proto, tau: *tau, m: *m, k: *k, km: *km,
 		load: *load, g: *g, seed: *seed, synthetic: *synthetic,
 		estimateRate: *estimateRate, maxBacklog: *maxBacklog,
 		drainTimeout: *drainTimeout,
@@ -127,6 +135,15 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 	}
 	fmt.Fprintf(stderr, "windowd: listening on %s (protocol=%s rho'=%g K=%g)\n",
 		ln.Addr(), o.protocol, o.load, o.constraint())
+	if o.listenTCP != "" {
+		tln, err := net.Listen("tcp", o.listenTCP)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		s.startTCP(tln)
+		fmt.Fprintf(stderr, "windowd: tcp ingest on %s\n", tln.Addr())
+	}
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

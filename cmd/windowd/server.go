@@ -10,6 +10,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	httppprof "net/http/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -27,6 +28,9 @@ import (
 // builds one from flags and /config POST builds amended copies.
 type options struct {
 	listen       string
+	listenTCP    string // binary ingest plane address ("" = disabled)
+	maxOwed      int64  // shed TCP frames past this owed backlog (0 = unbounded)
+	pprof        bool
 	protocol     string
 	tau          float64
 	m            float64
@@ -68,6 +72,9 @@ func (o options) validate() error {
 	}
 	if o.maxBacklog < 0 {
 		return fmt.Errorf("-max-backlog must be >= 0, got %d", o.maxBacklog)
+	}
+	if o.maxOwed < 0 {
+		return fmt.Errorf("-tcp-max-owed must be >= 0, got %d", o.maxOwed)
 	}
 	if o.drainTimeout <= 0 {
 		return fmt.Errorf("-drain-timeout must be positive, got %v", o.drainTimeout)
@@ -149,6 +156,15 @@ type server struct {
 
 	ingested      atomic.Int64 // accepted by handlers, not yet absorbed
 	totalIngested atomic.Int64
+	ingestedHTTP  atomic.Int64 // per-transport slices of totalIngested
+	ingestedTCP   atomic.Int64
+	tcpFrames     atomic.Int64 // counts frames absorbed by the TCP plane
+	tcpConns      atomic.Int64 // open TCP ingest connections (gauge)
+	owedGauge     atomic.Int64 // pump's owed ledger, refreshed every iteration
+
+	tcp     *tcpPlane // nil when -listen-tcp is off
+	maxOwed int64
+	pprofOn bool
 
 	draining  atomic.Bool
 	notify    chan struct{}
@@ -184,6 +200,8 @@ func newServer(o options) (*server, error) {
 		drainCh:   make(chan struct{}),
 		done:      make(chan struct{}),
 		opts:      o,
+		maxOwed:   o.maxOwed,
+		pprofOn:   o.pprof,
 		startWall: time.Now(),
 	}
 	st, est, err := o.engine(s.shared)
@@ -198,6 +216,17 @@ func newServer(o options) (*server, error) {
 			return *st
 		}
 		return engineStatus{}
+	})); err != nil {
+		return nil, err
+	}
+	if err := metrics.PublishVar("windowd_ingest", expvar.Func(func() any {
+		return map[string]int64{
+			"total":  s.totalIngested.Load(),
+			"http":   s.ingestedHTTP.Load(),
+			"tcp":    s.ingestedTCP.Load(),
+			"frames": s.tcpFrames.Load(),
+			"conns":  s.tcpConns.Load(),
+		}
 	})); err != nil {
 		return nil, err
 	}
@@ -225,6 +254,12 @@ func (s *server) setOpts(o options) {
 func (s *server) beginDrain() {
 	s.drainOnce.Do(func() {
 		s.draining.Store(true)
+		if s.tcp != nil {
+			// Stop the ingest plane first so readers wind down while the
+			// pump runs the backlog dry; drain() waits for them before its
+			// final accounting.
+			s.tcp.close()
+		}
 		close(s.drainCh)
 	})
 }
@@ -268,6 +303,7 @@ func (s *server) pump(st *sim.Stepper, o options, est *window.RateEstimator) {
 		default:
 		}
 		p.owed += s.ingested.Swap(0)
+		s.owedGauge.Store(p.owed)
 		if !p.o.synthetic && p.owed == 0 && p.st.Backlog() == 0 {
 			// Idle: nothing to schedule and nothing owed.  Freeze virtual
 			// time and park until an ingest, reconfiguration or drain.
@@ -350,6 +386,10 @@ func (p *pumpState) reconfigure(m ctrlMsg) {
 // then finish — classifying any stranded residents — and verify the
 // conservation invariants one final time.
 func (p *pumpState) drain() {
+	// The TCP readers were cut off by beginDrain; wait (bounded) for them
+	// to finish so every frame acknowledged before the cut is booked
+	// before the final accounting below.
+	p.s.shutdownTCP(2 * time.Second)
 	deadline := time.Now().Add(p.o.drainTimeout)
 	p.o.synthetic = false // stop generating; only owed messages remain
 	for time.Now().Before(deadline) {
@@ -358,6 +398,7 @@ func (p *pumpState) drain() {
 		// ingested after drain has started, and a single up-front Swap
 		// would strand those acknowledged messages unscheduled.
 		p.owed += p.s.ingested.Swap(0)
+		p.s.owedGauge.Store(p.owed)
 		if p.owed == 0 && p.st.Backlog() == 0 {
 			break
 		}
@@ -376,6 +417,7 @@ func (p *pumpState) drain() {
 		p.st.Inject(int(p.owed))
 		p.owed = 0
 	}
+	p.s.owedGauge.Store(0)
 	rep, err := p.st.Finish()
 	p.s.final.Store(&finalResult{rep: rep, err: err})
 	p.publishFinished(err)
@@ -420,21 +462,37 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /config", s.handleConfigGet)
 	mux.HandleFunc("POST /config", s.handleConfigPost)
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	if s.pprofOn {
+		mux.HandleFunc("GET /debug/pprof/", httppprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("POST /debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", httppprof.Trace)
+	}
 	return mux
 }
 
-// accept books n externally arrived messages and wakes the pump.
+// book credits n externally arrived messages to a transport counter and
+// wakes the pump.  It is the single booking point shared by the HTTP
+// handlers and the TCP readers — one atomic add per batch, no locks.
+func (s *server) book(n int64, transport *atomic.Int64) {
+	s.ingested.Add(n)
+	s.totalIngested.Add(n)
+	transport.Add(n)
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// accept books n externally arrived messages from an HTTP request.
 func (s *server) accept(w http.ResponseWriter, n int64) {
 	if s.draining.Load() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
-	s.ingested.Add(n)
-	s.totalIngested.Add(n)
-	select {
-	case s.notify <- struct{}{}:
-	default:
-	}
+	s.book(n, &s.ingestedHTTP)
 	w.WriteHeader(http.StatusAccepted)
 	fmt.Fprintf(w, "{\"accepted\":%d}\n", n)
 }
@@ -540,6 +598,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	line("windowd_arrivals_total", snap.Arrivals)
 	line("windowd_ingested_total", s.totalIngested.Load())
+	fmt.Fprintf(w, "windowd_ingested_total{transport=\"http\"} %d\n", s.ingestedHTTP.Load())
+	fmt.Fprintf(w, "windowd_ingested_total{transport=\"tcp\"} %d\n", s.ingestedTCP.Load())
+	line("windowd_ingest_frames_total", s.tcpFrames.Load())
+	line("windowd_ingest_conns", s.tcpConns.Load())
 	line("windowd_transmissions_total", snap.Transmissions)
 	line("windowd_accepted_total", snap.Accepted)
 	line("windowd_late_total", snap.Late)
@@ -592,6 +654,8 @@ func (s *server) handleConfigGet(w http.ResponseWriter, r *http.Request) {
 		"load": o.load, "g": o.g, "seed": o.seed,
 		"synthetic": o.synthetic, "estimate_rate": o.estimateRate,
 		"max_backlog": o.maxBacklog, "drain_timeout": o.drainTimeout.String(),
+		"listen_tcp": o.listenTCP, "tcp_addr": s.tcpAddr(),
+		"tcp_max_owed": o.maxOwed,
 	})
 }
 

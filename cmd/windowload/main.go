@@ -15,12 +15,22 @@
 //     -period with uniform phase jitter (the examples/sensornet shape);
 //     -rate is ignored.
 //
-// Counts are shipped on windowd's binary endpoint (/ingest.bin, one
-// big-endian uint32 per tick) so the generator adds no parsing load to
-// the system under test.  The generator scrapes /debug/vars before and
-// after the run and prints the deltas: achieved throughput, element-(4)
-// shed fraction, channel utilization — plus its own request-latency
-// percentiles from a stats.Histogram.
+// Two transports:
+//
+//   - http (default): counts ship on windowd's binary endpoint
+//     (/ingest.bin, one big-endian uint32 per tick), so the generator
+//     adds no parsing load to the system under test.
+//   - tcp: counts ship as internal/wire frames over -conns pipelined
+//     connections to the target's -listen-tcp plane (address
+//     autodiscovered from /config, or set with -tcp-target); per-tick
+//     draws split into batch counts of at most -batch messages, and the
+//     reported ingest latency is the per-frame round trip from socket
+//     write to covering ack.
+//
+// The generator scrapes /debug/vars before and after the run and prints
+// the deltas: achieved throughput, element-(4) shed fraction, channel
+// utilization — plus its own ingest-latency percentiles from a
+// stats.Histogram.
 //
 // Exit status: 0 on a clean run, 1 when the target misbehaves (ingest
 // rejected, scrape failed), 2 on usage errors.
@@ -28,8 +38,10 @@
 // Usage:
 //
 //	windowload [-target http://127.0.0.1:8343] [-duration 10s]
-//	           [-mode poisson|voice|sensor] [-rate 1e6]
-//	           [-stations 50] [-period 1s] [-tick 2ms] [-seed 1]
+//	           [-transport http|tcp] [-source poisson|voice|sensor]
+//	           [-rate 1e6] [-stations 50] [-period 1s] [-tick 2ms]
+//	           [-conns 4] [-batch 256] [-crc] [-tcp-target ADDR]
+//	           [-seed 1]
 package main
 
 import (
@@ -47,6 +59,7 @@ import (
 	"windowctl/internal/metrics"
 	"windowctl/internal/rngutil"
 	"windowctl/internal/stats"
+	"windowctl/internal/wire"
 )
 
 func main() {
@@ -75,11 +88,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	target := fs.String("target", "http://127.0.0.1:8343", "windowd base URL")
 	duration := fs.Duration("duration", 10*time.Second, "how long to generate load")
-	mode := fs.String("mode", "poisson", "arrival model: poisson | voice | sensor")
-	rate := fs.Float64("rate", 1e6, "offered messages/second (poisson mode)")
-	stations := fs.Int("stations", 50, "number of sources (voice and sensor modes)")
-	period := fs.Duration("period", time.Second, "per-sensor report period (sensor mode)")
-	tick := fs.Duration("tick", 2*time.Millisecond, "batching interval: one ingest request per tick")
+	transport := fs.String("transport", "http", "ingest transport: http | tcp")
+	sourceFlag := fs.String("source", "poisson", "arrival model: poisson | voice | sensor")
+	rate := fs.Float64("rate", 1e6, "offered messages/second (poisson source)")
+	stations := fs.Int("stations", 50, "number of sources (voice and sensor sources)")
+	period := fs.Duration("period", time.Second, "per-sensor report period (sensor source)")
+	tick := fs.Duration("tick", 2*time.Millisecond, "batching interval: one ingest operation per tick")
+	conns := fs.Int("conns", 4, "parallel connections (tcp transport)")
+	batch := fs.Int("batch", 256, "max messages per batch count in a TCP frame (tcp transport)")
+	crc := fs.Bool("crc", false, "append CRC32C trailers to TCP frames (tcp transport)")
+	tcpTarget := fs.String("tcp-target", "", "TCP ingest address (default: autodiscover from the target's /config)")
 	seed := fs.Uint64("seed", 1, "random seed for the arrival draws")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -96,7 +114,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *rate <= 0 || *stations <= 0 {
 		return usageError{fmt.Errorf("need positive -rate and -stations (got %v, %d)", *rate, *stations)}
 	}
-	src, err := newSource(*mode, *rate, *stations, *period, *tick, *seed)
+	if *transport != "http" && *transport != "tcp" {
+		return usageError{fmt.Errorf("-transport must be http or tcp, got %q", *transport)}
+	}
+	if *conns <= 0 || *batch <= 0 {
+		return usageError{fmt.Errorf("need positive -conns and -batch (got %d, %d)", *conns, *batch)}
+	}
+	src, err := newSource(*sourceFlag, *rate, *stations, *period, *tick, *seed)
 	if err != nil {
 		return usageError{err}
 	}
@@ -107,9 +131,36 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("scraping %s before the run: %w", *target, err)
 	}
 
-	// Request latency at 100 µs resolution out to 100 ms, overflow beyond.
+	// Ingest latency at 100 µs resolution out to 100 ms, overflow beyond.
 	lat := stats.NewHistogram(1e-4, 1000)
-	var sent, batches int64
+	var sh shipper
+	switch *transport {
+	case "http":
+		sh = &httpShipper{client: client, target: *target, lat: lat}
+	case "tcp":
+		addr := *tcpTarget
+		if addr == "" {
+			if addr, err = discoverTCP(client, *target); err != nil {
+				return err
+			}
+		}
+		ts := &tcpShipper{batch: uint32(*batch)}
+		for i := 0; i < *conns; i++ {
+			c, err := wire.Dial(addr, wire.ClientConfig{
+				Credit: 1 << 12, CRC: *crc,
+				OnAck: func(rtt time.Duration) { lat.Add(rtt.Seconds()) },
+			})
+			if err != nil {
+				ts.closeAll()
+				return fmt.Errorf("dialing tcp ingest %s: %w", addr, err)
+			}
+			ts.clients = append(ts.clients, c)
+		}
+		defer ts.closeAll()
+		sh = ts
+	}
+
+	var sent, ops int64
 	start := time.Now()
 	ticker := time.NewTicker(*tick)
 	defer ticker.Stop()
@@ -118,13 +169,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if n == 0 {
 			continue
 		}
-		t0 := time.Now()
-		if err := postCount(client, *target, uint32(n)); err != nil {
-			return fmt.Errorf("after %d batches: %w", batches, err)
+		done, err := sh.ship(n)
+		ops += done
+		if err != nil {
+			return fmt.Errorf("after %d operations: %w", ops, err)
 		}
-		lat.Add(time.Since(t0).Seconds())
 		sent += int64(n)
-		batches++
+	}
+	// Settle outstanding work (flush + acks on tcp) inside the timed span:
+	// offered throughput only counts messages the target accounted for.
+	if err := sh.finish(); err != nil {
+		return fmt.Errorf("settling ingest after %d operations: %w", ops, err)
 	}
 	elapsed := time.Since(start).Seconds()
 
@@ -136,8 +191,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	arr := after.Snap.Arrivals - before.Snap.Arrivals
 	tx := after.Snap.Transmissions - before.Snap.Transmissions
 	shed := after.Snap.Discards - before.Snap.Discards
-	fmt.Fprintf(stdout, "windowload: mode=%s duration=%.2fs\n", *mode, elapsed)
-	fmt.Fprintf(stdout, "offered             %d msgs (%.0f msgs/s over %d batches)\n", sent, float64(sent)/elapsed, batches)
+	fmt.Fprintf(stdout, "windowload: source=%s transport=%s duration=%.2fs\n", *sourceFlag, *transport, elapsed)
+	fmt.Fprintf(stdout, "offered             %d msgs (%.0f msgs/s over %d operations)\n", sent, float64(sent)/elapsed, ops)
 	fmt.Fprintf(stdout, "scheduled by target %d msgs (owed backlog %d)\n", arr, after.Engine.OwedArrivals)
 	fmt.Fprintf(stdout, "transmitted         %d msgs (%.0f msgs/s achieved)\n", tx, float64(tx)/elapsed)
 	if d := tx + shed; d > 0 {
@@ -158,20 +213,113 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-// postCount ships one batch count on the binary ingest endpoint.
-func postCount(client *http.Client, target string, n uint32) error {
+// shipper moves one tick's worth of messages to the target.  ship
+// returns how many ingest operations (HTTP requests or TCP frames) it
+// performed; finish settles anything still in flight.
+type shipper interface {
+	ship(n int) (ops int64, err error)
+	finish() error
+}
+
+// httpShipper posts one batch count per tick on the binary ingest
+// endpoint, timing each request.
+type httpShipper struct {
+	client *http.Client
+	target string
+	lat    *stats.Histogram
+}
+
+func (h *httpShipper) ship(n int) (int64, error) {
 	var buf [4]byte
-	binary.BigEndian.PutUint32(buf[:], n)
-	resp, err := client.Post(target+"/ingest.bin", "application/octet-stream", bytes.NewReader(buf[:]))
+	binary.BigEndian.PutUint32(buf[:], uint32(n))
+	t0 := time.Now()
+	resp, err := h.client.Post(h.target+"/ingest.bin", "application/octet-stream", bytes.NewReader(buf[:]))
 	if err != nil {
-		return err
+		return 0, err
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
-		return fmt.Errorf("ingest rejected: status %d", resp.StatusCode)
+		return 1, fmt.Errorf("ingest rejected: status %d", resp.StatusCode)
 	}
-	return nil
+	h.lat.Add(time.Since(t0).Seconds())
+	return 1, nil
+}
+
+func (h *httpShipper) finish() error { return nil }
+
+// tcpShipper frames each tick's draw as batch counts of at most batch
+// messages, spreading frames round-robin over pipelined connections.
+// Latency lands in the histogram through each client's OnAck callback.
+type tcpShipper struct {
+	clients []*wire.Client
+	batch   uint32
+	next    int
+	counts  []uint32
+}
+
+func (t *tcpShipper) ship(n int) (int64, error) {
+	if t.counts == nil {
+		t.counts = make([]uint32, 0, wire.DefaultMaxCounts)
+	}
+	var ops int64
+	for n > 0 {
+		t.counts = t.counts[:0]
+		for n > 0 && len(t.counts) < cap(t.counts) {
+			c := n
+			if c > int(t.batch) {
+				c = int(t.batch)
+			}
+			t.counts = append(t.counts, uint32(c))
+			n -= c
+		}
+		c := t.clients[t.next%len(t.clients)]
+		t.next++
+		if err := c.Send(t.counts); err != nil {
+			return ops, err
+		}
+		ops++
+	}
+	return ops, nil
+}
+
+func (t *tcpShipper) finish() error {
+	var first error
+	for _, c := range t.clients {
+		if err := c.Drain(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (t *tcpShipper) closeAll() {
+	for _, c := range t.clients {
+		c.Close()
+	}
+}
+
+// discoverTCP asks the target's /config for its bound -listen-tcp
+// address.
+func discoverTCP(client *http.Client, target string) (string, error) {
+	resp, err := client.Get(target + "/config")
+	if err != nil {
+		return "", fmt.Errorf("discovering tcp ingest via %s/config: %w", target, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("/config: status %d", resp.StatusCode)
+	}
+	var cfg struct {
+		TCPAddr string `json:"tcp_addr"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cfg); err != nil {
+		return "", err
+	}
+	if cfg.TCPAddr == "" {
+		return "", fmt.Errorf("target has no TCP ingest plane (windowd -listen-tcp is off); use -tcp-target to override")
+	}
+	return cfg.TCPAddr, nil
 }
 
 // scrapeResult is the subset of /debug/vars the generator reads.
@@ -201,8 +349,8 @@ func scrape(client *http.Client, target string) (scrapeResult, error) {
 // source draws the number of messages arriving in one tick.
 type source interface{ draw() int }
 
-func newSource(mode string, rate float64, stations int, period, tick time.Duration, seed uint64) (source, error) {
-	switch mode {
+func newSource(model string, rate float64, stations int, period, tick time.Duration, seed uint64) (source, error) {
+	switch model {
 	case "poisson":
 		return &poissonSource{rng: rngutil.New(seed), mean: rate * tick.Seconds()}, nil
 	case "voice":
@@ -210,7 +358,7 @@ func newSource(mode string, rate float64, stations int, period, tick time.Durati
 	case "sensor":
 		return newSensorSource(stations, period, tick, seed), nil
 	}
-	return nil, fmt.Errorf("-mode must be poisson, voice or sensor, got %q", mode)
+	return nil, fmt.Errorf("-source must be poisson, voice or sensor, got %q", model)
 }
 
 // poissonSource is the open-loop saturation model: each tick carries a

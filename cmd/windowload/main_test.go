@@ -66,7 +66,11 @@ func TestRunFlagValidation(t *testing.T) {
 		{"-duration", "0s"},
 		{"-rate", "-5"},
 		{"-tick", "-1ms"},
-		{"-mode", "bogus"},
+		{"-source", "bogus"},
+		{"-transport", "carrier-pigeon"},
+		{"-conns", "0"},
+		{"-conns", "-3", "-transport", "tcp"},
+		{"-batch", "0"},
 		{"-stations", "0"},
 		{"extra-positional"},
 	} {
@@ -105,7 +109,7 @@ func TestAgainstLiveWindowd(t *testing.T) {
 	if out, err := build.CombinedOutput(); err != nil {
 		t.Fatalf("building windowd: %v\n%s", err, out)
 	}
-	srv := exec.Command(bin, "-listen", "127.0.0.1:0", "-m", "10", "-km", "1", "-load", "0.9")
+	srv := exec.Command(bin, "-listen", "127.0.0.1:0", "-listen-tcp", "127.0.0.1:0", "-m", "10", "-km", "1", "-load", "0.9")
 	var serverOut bytes.Buffer
 	stderr, err := srv.StderrPipe()
 	if err != nil {
@@ -147,6 +151,24 @@ func TestAgainstLiveWindowd(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "conservation ok") {
 		t.Error("target did not report balanced books mid-run")
+	}
+
+	// Same target over the binary plane, address autodiscovered from
+	// /config, at a rate the HTTP path could not carry per-tick.
+	out.Reset()
+	err = run([]string{
+		"-target", target, "-transport", "tcp", "-duration", "500ms",
+		"-tick", "1ms", "-rate", "5e6", "-conns", "2", "-seed", "11",
+	}, &out, io.Discard)
+	t.Logf("windowload tcp output:\n%s", out.String())
+	if err != nil {
+		t.Fatalf("tcp load run failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "transport=tcp") {
+		t.Error("tcp run did not report its transport")
+	}
+	if !strings.Contains(out.String(), "conservation ok") {
+		t.Error("target did not report balanced books after the tcp run")
 	}
 
 	if err := srv.Process.Signal(syscallTerm); err != nil {

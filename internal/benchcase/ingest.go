@@ -1,0 +1,139 @@
+package benchcase
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"windowctl/internal/wire"
+)
+
+// IngestCase is one wire-ingest workload: Frames frames of Counts batch
+// counts (one message per count, so messages = Frames × Counts and the
+// per-message figure prices the full decode + accounting path, not batch
+// amortization tricks).  Loopback cases run the whole protocol — client
+// credit loop, kernel sockets, acks — against an in-process sink shaped
+// like windowd's per-connection reader; the codec case prices the
+// encode/decode pair alone.
+type IngestCase struct {
+	Name     string
+	Counts   int // batch counts per frame
+	Frames   int
+	CRC      bool
+	Loopback bool // false = in-memory codec only
+}
+
+// Ingest returns the wire-ingest workloads.  The b16/b1024 pair brackets
+// framing overhead: at 16 counts the header and ack machinery dominate,
+// at 1024 the payload scan does.
+func Ingest() []IngestCase {
+	return []IngestCase{
+		{Name: "codec-b256", Counts: 256, Frames: 20_000, CRC: true},
+		{Name: "tcp-b16", Counts: 16, Frames: 20_000, Loopback: true},
+		{Name: "tcp-b1024", Counts: 1024, Frames: 4_000, Loopback: true},
+	}
+}
+
+// RunIngest executes one workload and returns its wall time and message
+// count.  The absorbed total is verified against the offered total, so a
+// codec or protocol bug cannot masquerade as a fast run.
+func RunIngest(c IngestCase) (time.Duration, int64, error) {
+	counts := make([]uint32, c.Counts)
+	for i := range counts {
+		counts[i] = 1
+	}
+	msgs := int64(c.Counts) * int64(c.Frames)
+	if !c.Loopback {
+		var f wire.Frame
+		buf := make([]byte, 0, wire.MaxFrameSize(c.Counts))
+		var total uint64
+		start := time.Now()
+		for i := 0; i < c.Frames; i++ {
+			buf = wire.AppendCounts(buf[:0], counts, c.CRC)
+			if _, err := wire.Decode(buf, 0, &f); err != nil {
+				return 0, 0, err
+			}
+			total += f.Sum()
+		}
+		d := time.Since(start)
+		if total != uint64(msgs) {
+			return 0, 0, fmt.Errorf("benchcase: codec absorbed %d messages, want %d", total, msgs)
+		}
+		return d, msgs, nil
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer ln.Close()
+	type sunk struct {
+		total uint64
+		err   error
+	}
+	sinkDone := make(chan sunk, 1)
+	go func() {
+		total, err := ingestSink(ln)
+		sinkDone <- sunk{total, err}
+	}()
+
+	cl, err := wire.Dial(ln.Addr().String(), wire.ClientConfig{Credit: 1 << 12, CRC: c.CRC})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cl.Close()
+	start := time.Now()
+	for i := 0; i < c.Frames; i++ {
+		if err := cl.Send(counts); err != nil {
+			return 0, 0, fmt.Errorf("benchcase: frame %d: %w", i, err)
+		}
+	}
+	if err := cl.Drain(); err != nil {
+		return 0, 0, fmt.Errorf("benchcase: drain: %w", err)
+	}
+	d := time.Since(start)
+	got := <-sinkDone
+	if got.err != nil {
+		return 0, 0, fmt.Errorf("benchcase: sink: %w", got.err)
+	}
+	if got.total != uint64(msgs) {
+		return 0, 0, fmt.Errorf("benchcase: sink absorbed %d messages, want %d", got.total, msgs)
+	}
+	return d, msgs, nil
+}
+
+// ingestSink is windowd's reader loop in miniature: one connection,
+// counts frames summed and accumulated, an ack every wire.AckEvery
+// frames and a final ack at half-close.
+func ingestSink(ln net.Listener) (uint64, error) {
+	conn, err := ln.Accept()
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	dec := wire.NewDecoder(conn, 0)
+	var f wire.Frame
+	var frames, total uint64
+	var out []byte
+	for {
+		err := dec.Next(&f)
+		if err == io.EOF {
+			_, err := conn.Write(wire.AppendControl(out[:0], wire.TypeAck, frames, false))
+			return total, err
+		}
+		if err != nil {
+			return total, err
+		}
+		if f.Type != wire.TypeCounts {
+			return total, fmt.Errorf("unexpected %s frame", f.Type)
+		}
+		total += f.Sum()
+		frames++
+		if frames%wire.AckEvery == 0 {
+			if _, err := conn.Write(wire.AppendControl(out[:0], wire.TypeAck, frames, false)); err != nil {
+				return total, err
+			}
+		}
+	}
+}

@@ -8,7 +8,11 @@
 #   2. the target transmitted a nonzero number of messages with its
 #      conservation invariants intact (windowload exits nonzero
 #      otherwise),
-#   3. SIGTERM drains cleanly: exit status 0 and the
+#   3. a TCP-ingest burst (windowload -transport tcp against the
+#      -listen-tcp plane) settles with exact accounting scraped from
+#      /debug/vars: ingested == transmitted + discarded + resident,
+#      with /healthz still 200 afterwards,
+#   4. SIGTERM drains cleanly: exit status 0 and the
 #      "conservation invariants verified" marker on stdout.
 #
 # CI runs this in the docs job; it is also handy locally:
@@ -27,7 +31,7 @@ trap cleanup EXIT
 go build -o "$tmp/windowd" ./cmd/windowd
 go build -o "$tmp/windowload" ./cmd/windowload
 
-"$tmp/windowd" -listen 127.0.0.1:0 -m 10 -km 1 -load 0.9 \
+"$tmp/windowd" -listen 127.0.0.1:0 -listen-tcp 127.0.0.1:0 -m 10 -km 1 -load 0.9 \
     >"$tmp/windowd.out" 2>"$tmp/windowd.err" &
 pid=$!
 
@@ -50,6 +54,36 @@ health=$(curl -fsS "http://$addr/healthz")
 grep -q 'conservation ok' "$tmp/load.out" || { echo "load run reported unbalanced books"; exit 1; }
 tx=$(awk '/transmitted/ { print $2; exit }' "$tmp/load.out")
 [ -n "$tx" ] && [ "$tx" -gt 0 ] || { echo "nothing transmitted (tx=$tx)"; exit 1; }
+
+# TCP-ingest leg: burst over the binary plane (address autodiscovered
+# from /config), then scrape /debug/vars until the owed backlog settles
+# and assert the books balance exactly.
+"$tmp/windowload" -target "http://$addr" -transport tcp -duration 2s -rate 2e6 -seed 8 | tee "$tmp/loadtcp.out"
+grep -q 'conservation ok' "$tmp/loadtcp.out" || { echo "tcp load run reported unbalanced books"; exit 1; }
+
+# jsonint KEY — first integer value of "KEY" in the last /debug/vars scrape.
+jsonint() {
+    sed -n 's/.*"'"$1"'": *\(-\{0,1\}[0-9][0-9]*\).*/\1/p' "$tmp/vars.json" | head -1
+}
+owed=-1
+for _ in $(seq 1 100); do
+    curl -fsS "http://$addr/debug/vars" >"$tmp/vars.json"
+    owed=$(jsonint owed_arrivals)
+    [ "$owed" = 0 ] && break
+    sleep 0.1
+done
+[ "$owed" = 0 ] || { echo "owed backlog never settled (owed=$owed)"; exit 1; }
+ing_http=$(jsonint http); ing_tcp=$(jsonint tcp)
+arr=$(jsonint arrivals); tx2=$(jsonint transmissions)
+shed=$(jsonint discards); resident=$(jsonint backlog)
+[ "$ing_tcp" -gt 0 ] || { echo "tcp plane ingested nothing"; exit 1; }
+ingested=$((ing_http + ing_tcp))
+[ "$arr" = "$ingested" ] || { echo "booked $ingested but scheduled $arr"; exit 1; }
+[ "$((tx2 + shed + resident))" = "$ingested" ] \
+    || { echo "accounting broken: tx $tx2 + shed $shed + resident $resident != ingested $ingested"; exit 1; }
+health=$(curl -fsS "http://$addr/healthz")
+[ "$health" = "ok" ] || { echo "healthz after tcp burst said: $health"; exit 1; }
+echo "tcp ingest accounting: $ingested ingested = $tx2 tx + $shed shed + $resident resident"
 
 kill -TERM "$pid"
 drained=1
